@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Array Cmd Cmdliner Float Int64 List Lk_baselines Lk_ext Lk_hardness Lk_knapsack Lk_lca Lk_lcakp Lk_oracle Lk_repro Lk_stats Lk_util Lk_workloads Printf String Term

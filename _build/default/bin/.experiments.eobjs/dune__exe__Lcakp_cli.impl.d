@@ -1,0 +1,1 @@
+bin/lcakp_cli.ml: Arg Cmd Cmdliner Fun Int64 List Lk_knapsack Lk_lcakp Lk_oracle Lk_util Lk_workloads Printf String Term

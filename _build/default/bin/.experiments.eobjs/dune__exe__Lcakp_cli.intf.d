@@ -1,0 +1,1 @@
+bin/lcakp_cli.mli:

@@ -1,0 +1,138 @@
+(* lcakp_cli: work with Knapsack instance files through the LCA toolbox.
+
+     lcakp_cli gen --family uniform -n 1000 -o inst.txt    # make an instance
+     lcakp_cli stats inst.txt --epsilon 0.2                # L/S/G profile + OPT bracket
+     lcakp_cli query inst.txt 0 17 42                      # LCA membership answers
+     lcakp_cli solve inst.txt                              # materialize the LCA solution
+
+   Instance format: '#' comments; first data line = capacity; then one
+   "profit weight" pair per line (see Lk_workloads.Io). *)
+
+module Rng = Lk_util.Rng
+module Instance = Lk_knapsack.Instance
+module Solution = Lk_knapsack.Solution
+module Io = Lk_workloads.Io
+module Gen = Lk_workloads.Gen
+module Tbl = Lk_util.Tbl
+
+let make_algo epsilon seed scale path =
+  let instance = Io.read path in
+  let access = Lk_oracle.Access.of_instance instance in
+  let params = Lk_lcakp.Params.practical ~sample_scale:scale epsilon in
+  (instance, access, Lk_lcakp.Lca_kp.create params access ~seed:(Int64.of_int seed))
+
+(* ---- query ---- *)
+
+let run_query epsilon seed scale path indices =
+  let instance, _, algo = make_algo epsilon seed scale path in
+  let indices =
+    if indices = [] then List.init (Instance.size instance) Fun.id else indices
+  in
+  let fresh = Rng.create (Int64.of_int ((seed * 31) + 1)) in
+  List.iter
+    (fun i ->
+      let yes = Lk_lcakp.Lca_kp.query algo ~fresh i in
+      Printf.printf "item %d: %s\n" i (if yes then "IN" else "OUT"))
+    indices
+
+(* ---- solve ---- *)
+
+let run_solve epsilon seed scale path =
+  let _, access, algo = make_algo epsilon seed scale path in
+  let norm = Lk_oracle.Access.normalized access in
+  let state = Lk_lcakp.Lca_kp.run algo ~fresh:(Rng.create (Int64.of_int ((seed * 31) + 1))) in
+  let sol = Lk_lcakp.Lca_kp.induced_solution algo state in
+  let bracket = Lk_knapsack.Reference.estimate norm in
+  Printf.printf "# LCA-KP solution (epsilon driven, seed %d)\n" seed;
+  Printf.printf "# |C| = %d, value = %.6f (normalized), weight = %.6f of K = %.6f\n"
+    (Solution.cardinal sol) (Solution.profit norm sol) (Solution.weight norm sol)
+    (Instance.capacity norm);
+  Printf.printf "# OPT bracket: [%.6f, %.6f] (%s)\n" bracket.Lk_knapsack.Reference.lower
+    bracket.Lk_knapsack.Reference.upper bracket.Lk_knapsack.Reference.method_used;
+  Printf.printf "# samples drawn this run: %d\n" (Lk_lcakp.Lca_kp.samples_per_query algo state);
+  List.iter (fun i -> Printf.printf "%d\n" i) (Solution.indices sol)
+
+(* ---- stats ---- *)
+
+let run_stats epsilon path =
+  let instance = Io.read path in
+  let norm = Instance.normalize instance in
+  let profile = Lk_lcakp.Partition.profile ~epsilon norm in
+  let t = Tbl.create ~title:(Printf.sprintf "L/S/G profile at eps = %.3f" epsilon)
+      [ "class"; "items"; "profit mass" ] in
+  List.iter
+    (fun (klass, mass, count) ->
+      Tbl.add_row t
+        [ Lk_lcakp.Partition.to_string klass; Tbl.cell_int count; Tbl.cell_float mass ])
+    profile;
+  Tbl.print t;
+  let bracket = Lk_knapsack.Reference.estimate norm in
+  Printf.printf "n = %d, capacity (normalized) = %.6f\n" (Instance.size norm)
+    (Instance.capacity norm);
+  Printf.printf "OPT bracket: [%.6f, %.6f] via %s (gap %.2f%%)\n"
+    bracket.Lk_knapsack.Reference.lower bracket.Lk_knapsack.Reference.upper
+    bracket.Lk_knapsack.Reference.method_used
+    (100. *. Lk_knapsack.Reference.gap bracket)
+
+(* ---- gen ---- *)
+
+let run_gen family n capacity_fraction gen_seed output =
+  match Gen.of_name family with
+  | None ->
+      Printf.eprintf "unknown family %S; known: %s\n" family
+        (String.concat ", " (List.map Gen.name Gen.all_families));
+      exit 2
+  | Some family ->
+      let inst =
+        Gen.generate ~capacity_fraction family (Rng.create (Int64.of_int gen_seed)) ~n
+      in
+      (match output with
+      | Some path ->
+          Io.write path inst;
+          Printf.printf "wrote %d items to %s\n" n path
+      | None -> print_string (Io.to_string inst))
+
+(* ---- cmdliner plumbing ---- *)
+
+open Cmdliner
+
+let epsilon_arg =
+  Arg.(value & opt float 0.2 & info [ "epsilon"; "e" ] ~doc:"Approximation parameter.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Shared LCA random seed (Definition 2.2's r).")
+
+let scale_arg =
+  Arg.(value & opt float 0.1 & info [ "sample-scale" ] ~doc:"Sampling budget multiplier.")
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc:"Instance file.")
+
+let query_cmd =
+  let indices = Arg.(value & pos_right 0 int [] & info [] ~docv:"INDEX" ~doc:"Indices (default: all).") in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer LCA membership queries (one stateless run per query)")
+    Term.(const run_query $ epsilon_arg $ seed_arg $ scale_arg $ path_arg $ indices)
+
+let solve_cmd =
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Materialize the solution one LCA run answers according to")
+    Term.(const run_solve $ epsilon_arg $ seed_arg $ scale_arg $ path_arg)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show the paper's L/S/G partition profile and an OPT bracket")
+    Term.(const run_stats $ epsilon_arg $ path_arg)
+
+let gen_cmd =
+  let family = Arg.(value & opt string "uniform" & info [ "family" ] ~doc:"Workload family.") in
+  let n = Arg.(value & opt int 1000 & info [ "n" ] ~doc:"Number of items.") in
+  let cf = Arg.(value & opt float 0.4 & info [ "capacity-fraction" ] ~doc:"K as a fraction of total weight.") in
+  let gseed = Arg.(value & opt int 1 & info [ "gen-seed" ] ~doc:"Generator seed.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file (default stdout).") in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic instance file")
+    Term.(const run_gen $ family $ n $ cf $ gseed $ out)
+
+let () =
+  let doc = "Local Computation Algorithms for Knapsack — instance tooling" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "lcakp_cli" ~doc) [ query_cmd; solve_cmd; stats_cmd; gen_cmd ]))

@@ -1,0 +1,1 @@
+examples/cargo_loading.ml: Array List Lk_knapsack Lk_lcakp Lk_oracle Lk_util Printf

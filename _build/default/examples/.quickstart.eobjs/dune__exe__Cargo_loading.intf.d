@@ -1,0 +1,1 @@
+examples/cargo_loading.mli:

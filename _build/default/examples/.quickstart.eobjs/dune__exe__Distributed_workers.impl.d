@@ -1,0 +1,1 @@
+examples/distributed_workers.ml: Fun Int64 List Lk_knapsack Lk_lcakp Lk_oracle Lk_util Lk_workloads Printf

@@ -1,0 +1,1 @@
+examples/hardness_demo.ml: List Lk_hardness Lk_util Printf

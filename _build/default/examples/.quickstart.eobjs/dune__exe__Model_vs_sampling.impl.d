@@ -1,0 +1,1 @@
+examples/model_vs_sampling.ml: Lk_ext Lk_knapsack Lk_lcakp Lk_oracle Lk_util Lk_workloads Printf

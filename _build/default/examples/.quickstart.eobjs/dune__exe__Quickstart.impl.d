@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Lk_knapsack Lk_lcakp Lk_oracle Lk_util Printf

@@ -1,0 +1,89 @@
+(* Cargo loading: a domain-flavoured scenario for the weighted-sampling
+   model.
+
+   A freight operator has a manifest of 50,000 booked consignments, each
+   with a revenue (profit) and a mass (weight), and one aircraft with a
+   payload limit.  Gate agents at different terminals must answer, *right
+   now*, "does consignment #X fly today?" — without any agent reading the
+   whole manifest, and with all agents giving answers consistent with one
+   feasible load plan.
+
+   The manifest database can cheaply serve "sample a consignment with
+   probability proportional to its revenue" (a revenue-weighted index is a
+   standard database view) — exactly the paper's weighted-sampling oracle.
+
+   Run with: dune exec examples/cargo_loading.exe *)
+
+module Rng = Lk_util.Rng
+module Item = Lk_knapsack.Item
+
+let n = 50_000
+
+let manifest =
+  (* A few charter-level consignments dominate revenue; a long tail of
+     parcels; some dead freight (low revenue, heavy). *)
+  let rng = Rng.create 42L in
+  let items =
+    Array.init n (fun i ->
+        if i < 12 then
+          (* charter consignments: 6-15% of total revenue each *)
+          Item.make ~profit:(Rng.uniform rng 40_000. 120_000.) ~weight:(Rng.uniform rng 800. 3_000.)
+        else if i mod 7 = 0 then
+          (* dead freight: scrap metal, low revenue per kg *)
+          let w = Rng.uniform rng 50. 400. in
+          Item.make ~profit:(w *. Rng.uniform rng 0.02 0.2) ~weight:w
+        else
+          (* parcels: decent revenue per kg *)
+          let w = Rng.uniform rng 0.5 30. in
+          Item.make ~profit:(w *. Rng.uniform rng 2. 20.) ~weight:w)
+  in
+  let payload = 0.35 *. Lk_util.Float_utils.sum_by (fun (it : Item.t) -> it.Item.weight) items in
+  Lk_knapsack.Instance.make items ~capacity:payload
+
+let () =
+  let access = Lk_oracle.Access.of_instance manifest in
+  let params = Lk_lcakp.Params.practical ~sample_scale:0.2 0.15 in
+  let algo = Lk_lcakp.Lca_kp.create params access ~seed:20_250_705L in
+  Printf.printf "Manifest: %d consignments, payload limit %.0f kg, total booked revenue %.0f\n\n"
+    n
+    (Lk_knapsack.Instance.capacity manifest)
+    (Lk_knapsack.Instance.total_profit manifest);
+
+  (* Three gate agents at different terminals, asking about different
+     consignments.  Each call is an independent stateless run. *)
+  let agents = [ ("T1-gate-04", [ 3; 17_204; 9 ]); ("T2-gate-11", [ 3; 44_119; 28_001 ]); ("T3-cargo", [ 0; 1; 2 ]) ] in
+  List.iter
+    (fun (agent, queries) ->
+      List.iter
+        (fun id ->
+          let fresh = Rng.of_path 1L [ agent; string_of_int id ] in
+          let flies = Lk_lcakp.Lca_kp.query algo ~fresh id in
+          let item = Lk_knapsack.Instance.item manifest id in
+          Printf.printf "[%s] consignment %5d (rev %8.0f, %7.1f kg): %s\n" agent id
+            item.Item.profit item.Item.weight
+            (if flies then "LOADED" else "left behind"))
+        queries)
+    agents;
+
+  (* Back office: materialize the plan the agents are answering from and
+     score the economics. *)
+  let norm = Lk_oracle.Access.normalized access in
+  let state = Lk_lcakp.Lca_kp.run algo ~fresh:(Rng.create 5L) in
+  let plan = Lk_lcakp.Lca_kp.induced_solution algo state in
+  let bracket = Lk_knapsack.Reference.estimate norm in
+  let revenue_share = Lk_knapsack.Solution.profit norm plan in
+  Printf.printf
+    "\nBack-office audit of the implied load plan:\n\
+    \  consignments loaded: %d of %d\n\
+    \  revenue captured:    %.1f%% of booked (best possible <= %.1f%%)\n\
+    \  payload used:        %.0f kg of %.0f kg\n\
+    \  feasible:            %b\n"
+    (Lk_knapsack.Solution.cardinal plan)
+    n (100. *. revenue_share)
+    (100. *. bracket.Lk_knapsack.Reference.upper)
+    (Lk_knapsack.Solution.weight norm plan *. Lk_knapsack.Instance.total_weight manifest)
+    (Lk_knapsack.Instance.capacity manifest)
+    (Lk_knapsack.Solution.is_feasible norm plan);
+  Printf.printf
+    "\nNote the charter consignments: with revenue-weighted sampling the LCA finds every one\n\
+     of them (Lemma 4.2), which is where most of the revenue lives.\n"

@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Array Lk_knapsack Lk_lca Lk_lcakp Lk_oracle

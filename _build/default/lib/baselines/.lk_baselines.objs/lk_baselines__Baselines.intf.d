@@ -1,0 +1,1 @@
+lib/baselines/baselines.mli: Lk_lca Lk_lcakp Lk_oracle

@@ -1,0 +1,16 @@
+(** Comparator LCAs wrapped in the generic {!Lk_lca.Lca.t} interface.
+
+    - {!trivial}: always answers "no" — perfectly consistent, feasible, zero
+      profit.  The paper's remark after Definition 2.4: consistency alone is
+      vacuous without a profit guarantee.
+    - {!full_read}: reads the entire instance (n index queries per run) and
+      answers according to the deterministic greedy 1/2-approximation — the
+      quality ceiling the sublinear LCA is measured against, at linear cost.
+    - {!lca_kp}: the paper's Algorithm 2 (Theorem 4.1).
+    - {!lca_kp_naive}: the same pipeline with plain (non-reproducible)
+      empirical quantiles — the §4.1 strawman; consistency ablation. *)
+
+val trivial : Lk_oracle.Access.t -> Lk_lca.Lca.t
+val full_read : Lk_oracle.Access.t -> Lk_lca.Lca.t
+val lca_kp : Lk_lcakp.Params.t -> Lk_oracle.Access.t -> seed:int64 -> Lk_lca.Lca.t
+val lca_kp_naive : Lk_lcakp.Params.t -> Lk_oracle.Access.t -> seed:int64 -> Lk_lca.Lca.t

@@ -1,0 +1,1 @@
+lib/core/convert_greedy.ml: Array Eps List Lk_knapsack Lk_util Params Tilde

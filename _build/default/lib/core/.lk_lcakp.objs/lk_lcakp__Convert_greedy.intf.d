@@ -1,0 +1,1 @@
+lib/core/convert_greedy.mli: Lk_knapsack Params Tilde

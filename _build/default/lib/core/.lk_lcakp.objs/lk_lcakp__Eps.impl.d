@@ -1,0 +1,1 @@
+lib/core/eps.ml: Array Lk_knapsack Lk_repro Lk_stats Lk_util Params Partition

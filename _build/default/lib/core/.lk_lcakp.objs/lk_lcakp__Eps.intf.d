@@ -1,0 +1,1 @@
+lib/core/eps.mli: Lk_knapsack Params

@@ -1,0 +1,1 @@
+lib/core/iky_value.ml: Array Lk_knapsack Params Tilde

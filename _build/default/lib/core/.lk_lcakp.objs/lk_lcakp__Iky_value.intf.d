@@ -1,0 +1,1 @@
+lib/core/iky_value.mli: Lk_oracle Lk_util Params

@@ -1,0 +1,1 @@
+lib/core/lca_kp.ml: Convert_greedy Lk_oracle Mapping_greedy Params Tilde

@@ -1,0 +1,1 @@
+lib/core/lca_kp.mli: Convert_greedy Lk_knapsack Lk_oracle Lk_util Params Tilde

@@ -1,0 +1,1 @@
+lib/core/mapping_greedy.mli: Convert_greedy Lk_knapsack Params

@@ -1,0 +1,1 @@
+lib/core/tilde.ml: Array Eps Hashtbl List Lk_knapsack Lk_oracle Lk_repro Lk_util Params

@@ -1,0 +1,1 @@
+lib/core/tilde.mli: Eps Lk_knapsack Lk_oracle Lk_util Params

@@ -1,0 +1,87 @@
+module Solution = Lk_knapsack.Solution
+
+type decision = {
+  index_large : Solution.t;
+  e_small_code : int option;
+  b_indicator : bool;
+  prefix_len : int;
+  k_cut : int;
+}
+
+(* Canonical total order on Ĩ items: efficiency (code) descending, original
+   items before synthetic at equal efficiency, then by index / bucket.  Any
+   two runs that built equal Ĩ sort identically. *)
+let sort_key (it : Tilde.item) =
+  match it.Tilde.origin with
+  | Tilde.Original i -> (-it.Tilde.eff_code, 0, i)
+  | Tilde.Synthetic b -> (-it.Tilde.eff_code, 1, b)
+
+let run (params : Params.t) (tilde : Tilde.t) =
+  let sorted = Array.copy tilde.Tilde.items in
+  Array.sort (fun a b -> compare (sort_key a) (sort_key b)) sorted;
+  let n = Array.length sorted in
+  (* Line 2: largest j with prefix weight within capacity. *)
+  let rec prefix_extent j weight =
+    if j >= n then j
+    else
+      let w = weight +. sorted.(j).Tilde.weight in
+      if w <= tilde.Tilde.capacity then prefix_extent (j + 1) w else j
+  in
+  let j = prefix_extent 0 0. in
+  (* Line 3: largest 1-based k with ẽ_k > p_j/w_j (0 when j = 0 or no
+     threshold clears the break efficiency). *)
+  let eps = tilde.Tilde.eps in
+  let k_cut =
+    if j = 0 then 0
+    else begin
+      let eff_j = sorted.(j - 1).Tilde.eff_code in
+      let rec largest k acc =
+        if k > Eps.length eps then acc
+        else if Eps.threshold eps k > eff_j then largest (k + 1) k
+        else acc
+      in
+      largest 1 0
+    end
+  in
+  let prefix_profit =
+    Lk_util.Float_utils.sum (Array.map (fun it -> it.Tilde.profit) (Array.sub sorted 0 j))
+  in
+  (* Definition 2.2 restricts instances to per-item weight <= K, which is
+     what makes the break-item singleton feasible (Lemma 4.7).  Stay safe on
+     inputs violating that convention: an oversized break item falls back to
+     the prefix branch. *)
+  let singleton_better =
+    j < n
+    && sorted.(j).Tilde.profit > prefix_profit
+    && sorted.(j).Tilde.weight <= tilde.Tilde.capacity
+  in
+  if not singleton_better then begin
+    (* Lines 5-10: prefix branch.  All Original items of Ĩ are large by
+       construction, so the prefix's original indices are Index_large. *)
+    let large =
+      Array.to_list (Array.sub sorted 0 j)
+      |> List.filter_map (fun it ->
+             match it.Tilde.origin with
+             | Tilde.Original i when it.Tilde.profit > Params.large_profit_cutoff params -> Some i
+             | Tilde.Original _ | Tilde.Synthetic _ -> None)
+    in
+    let e_small_code = if k_cut >= 3 then Some (Eps.threshold eps (k_cut - 2)) else None in
+    {
+      index_large = Solution.of_indices large;
+      e_small_code;
+      b_indicator = false;
+      prefix_len = j;
+      k_cut;
+    }
+  end
+  else begin
+    (* Lines 12-13: singleton branch.  Lemma 4.7 shows the break item is a
+       large (hence original) item; if the EPS estimate was off and it is
+       synthetic, fall back to the empty solution (consistent and feasible). *)
+    let index_large =
+      match sorted.(j).Tilde.origin with
+      | Tilde.Original i -> Solution.singleton i
+      | Tilde.Synthetic _ -> Solution.empty
+    in
+    { index_large; e_small_code = None; b_indicator = true; prefix_len = j; k_cut }
+  end

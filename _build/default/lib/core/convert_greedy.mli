@@ -1,0 +1,25 @@
+(** CONVERT-GREEDY (Algorithm 3): run the prefix greedy on the constructed
+    instance Ĩ and convert its outcome into a *decision rule* that answers
+    membership queries on the original instance.
+
+    The rule is: a large item is in the solution iff its index is in
+    [index_large]; a small item is in the solution iff the rule is in prefix
+    mode and its efficiency clears [e_small] (= ẽ_{k−2}); garbage is never
+    in.  [b_indicator] marks the singleton ("break item") branch of the
+    classic 1/2-approximation. *)
+
+type decision = {
+  index_large : Lk_knapsack.Solution.t;
+      (** original indices answered "yes" among large items *)
+  e_small_code : int option;
+      (** efficiency cut-off for small items (domain code); [None] ⇔ the
+          paper's −1 *)
+  b_indicator : bool;  (** true ⇔ the singleton branch was taken *)
+  prefix_len : int;  (** j: number of Ĩ items the greedy prefix holds *)
+  k_cut : int;  (** the paper's k: last EPS index above the break efficiency *)
+}
+
+(** [run params tilde] executes Algorithm 3.  Deterministic in [tilde]:
+    equal constructed instances yield equal decisions (the consistency
+    argument of Lemma 4.9). *)
+val run : Params.t -> Tilde.t -> decision

@@ -1,0 +1,32 @@
+module Branch_bound = Lk_knapsack.Branch_bound
+module Fptas = Lk_knapsack.Fptas
+
+type result = {
+  estimate : float;
+  tilde_opt : float;
+  tilde_size : int;
+  samples_used : int;
+  exact : bool;
+}
+
+let approximate_opt params access ~seed ~fresh =
+  let tilde = Tilde.build params access ~seed ~fresh in
+  let size = Array.length tilde.Tilde.items in
+  if size = 0 then
+    { estimate = 0.; tilde_opt = 0.; tilde_size = 0; samples_used = tilde.Tilde.samples_used; exact = true }
+  else begin
+    let instance = Tilde.to_instance tilde in
+    let tilde_opt, exact =
+      try (Branch_bound.value ~node_budget:2_000_000 instance, true)
+      with Branch_bound.Node_budget_exceeded ->
+        (* Fine-grained FPTAS: error ε/10 ≪ the 6ε budget of Lemma 4.4. *)
+        (Fptas.value ~epsilon:(params.Params.epsilon /. 10.) instance, false)
+    in
+    {
+      estimate = tilde_opt -. params.Params.epsilon;
+      tilde_opt;
+      tilde_size = size;
+      samples_used = tilde.Tilde.samples_used;
+      exact;
+    }
+  end

@@ -1,0 +1,21 @@
+(** The [IKY12] constant-time value-approximation algorithm (§4
+    preliminaries; Lemma 4.4): build the constant-size instance Ĩ by
+    weighted sampling, solve it optimally, and return OPT(Ĩ) − ε, which is
+    a (1, 6ε)-approximation of OPT(I) w.h.p.
+
+    This is the substrate the paper's LCA adapts; experiment E8 reproduces
+    its guarantee directly. *)
+
+type result = {
+  estimate : float;  (** OPT(Ĩ) − ε, the value estimate for OPT(I) *)
+  tilde_opt : float;  (** OPT(Ĩ) *)
+  tilde_size : int;  (** |S̃| — O(1/ε²) items *)
+  samples_used : int;
+  exact : bool;  (** true if Ĩ was solved exactly (branch & bound); false
+                     if the node budget forced a fine-grained FPTAS *)
+}
+
+(** [approximate_opt params access ~seed ~fresh] runs the full pipeline.
+    The estimate is for the *normalized* instance (total profit 1). *)
+val approximate_opt :
+  Params.t -> Lk_oracle.Access.t -> seed:int64 -> fresh:Lk_util.Rng.t -> result

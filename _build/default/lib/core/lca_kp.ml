@@ -1,0 +1,22 @@
+module Access = Lk_oracle.Access
+
+type t = { params : Params.t; access : Access.t; seed : int64 }
+type state = { tilde : Tilde.t; decision : Convert_greedy.decision }
+
+let create params access ~seed = { params; access; seed }
+let params t = t.params
+let access t = t.access
+
+let run t ~fresh =
+  let tilde = Tilde.build t.params t.access ~seed:t.seed ~fresh in
+  let decision = Convert_greedy.run t.params tilde in
+  { tilde; decision }
+
+let answer t state i =
+  let item = Access.query t.access i in
+  Mapping_greedy.member t.params ~seed:t.seed state.decision item ~index:i
+
+let query t ~fresh i = answer t (run t ~fresh) i
+let induced_solution t state =
+  Mapping_greedy.solution t.params ~seed:t.seed (Access.normalized t.access) state.decision
+let samples_per_query _t state = state.tilde.Tilde.samples_used

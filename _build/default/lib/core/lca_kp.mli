@@ -1,0 +1,46 @@
+(** LCA-KP (Algorithm 2): the paper's main result, Theorem 4.1 — a local
+    computation algorithm that, given weighted-sampling access to a Knapsack
+    instance, answers "is item i in the solution?" consistently with one
+    (1/2, 6ε)-approximate feasible solution, using
+    (1/ε)^{O(log* n)} samples per query and no state between queries.
+
+    Usage model (Definitions 2.2–2.4):
+    - [create] binds the algorithm to an instance's oracles and the shared
+      read-only random seed [r];
+    - every {!query} is a complete stateless run: it draws fresh samples,
+      rebuilds Ĩ, re-runs CONVERT-GREEDY, and answers — two queries share
+      nothing but [r] (parallelizability);
+    - {!run} exposes a single run's intermediate state so experiments can
+      inspect Ĩ, count samples, and materialize the induced solution via
+      MAPPING-GREEDY. *)
+
+type t
+
+type state = {
+  tilde : Tilde.t;
+  decision : Convert_greedy.decision;
+}
+
+val create : Params.t -> Lk_oracle.Access.t -> seed:int64 -> t
+val params : t -> Params.t
+val access : t -> Lk_oracle.Access.t
+
+(** One stateless run of lines 1–19 (sampling + Ĩ + CONVERT-GREEDY). *)
+val run : t -> fresh:Lk_util.Rng.t -> state
+
+(** [answer t state i] — lines 20–24: reveal item [i] (one index query) and
+    apply the decision rule. *)
+val answer : t -> state -> int -> bool
+
+(** [query t ~fresh i] — the LCA proper: a fresh stateless run followed by
+    {!answer}.  Cost: [Tilde.samples_used] weighted samples + 1 index
+    query. *)
+val query : t -> fresh:Lk_util.Rng.t -> int -> bool
+
+(** The full solution C the given run answers according to
+    (MAPPING-GREEDY over the normalized instance). *)
+val induced_solution : t -> state -> Lk_knapsack.Solution.t
+
+(** Samples drawn by one run (the measured query complexity, experiment
+    E9). *)
+val samples_per_query : t -> state -> int

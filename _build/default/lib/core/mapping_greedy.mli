@@ -1,0 +1,23 @@
+(** MAPPING-GREEDY (Algorithm 4): materialize the full solution C of the
+    original instance that a decision rule answers according to.
+
+    This is an *experiment-side* operation (it scans the whole instance);
+    the LCA itself answers point queries through {!Lca_kp.answer}.  Both use
+    the same membership rule, so [solution] is exactly the set
+    \{i : answer i = yes\}. *)
+
+(** [solution params instance decision] applies lines 1–4 of Algorithm 4,
+    with the defensive garbage guard: a small item is included only when the
+    rule is in prefix mode, the cut-off exists, and the item's efficiency
+    clears both the cut-off and ε² (paper's S(I) condition). *)
+val solution :
+  Params.t ->
+  seed:int64 ->
+  Lk_knapsack.Instance.t ->
+  Convert_greedy.decision ->
+  Lk_knapsack.Solution.t
+
+(** [member params decision item ~index] — the membership rule for one
+    revealed item: the common core of {!solution} and {!Lca_kp.answer}. *)
+val member :
+  Params.t -> seed:int64 -> Convert_greedy.decision -> Lk_knapsack.Item.t -> index:int -> bool

@@ -1,0 +1,23 @@
+module Item = Lk_knapsack.Item
+
+type klass = Large | Small | Garbage
+
+let classify ~epsilon (item : Item.t) =
+  let cutoff = epsilon ** 2. in
+  if item.Item.profit > cutoff then Large
+  else if Item.efficiency item >= cutoff then Small
+  else Garbage
+
+let is_large ~epsilon item = classify ~epsilon item = Large
+let to_string = function Large -> "large" | Small -> "small" | Garbage -> "garbage"
+
+let profile ~epsilon instance =
+  let totals = [| 0.; 0.; 0. |] and counts = [| 0; 0; 0 |] in
+  let slot = function Large -> 0 | Small -> 1 | Garbage -> 2 in
+  for i = 0 to Lk_knapsack.Instance.size instance - 1 do
+    let item = Lk_knapsack.Instance.item instance i in
+    let s = slot (classify ~epsilon item) in
+    totals.(s) <- totals.(s) +. item.Item.profit;
+    counts.(s) <- counts.(s) + 1
+  done;
+  [ (Large, totals.(0), counts.(0)); (Small, totals.(1), counts.(1)); (Garbage, totals.(2), counts.(2)) ]

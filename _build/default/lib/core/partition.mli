@@ -1,0 +1,17 @@
+(** The L / S / G item partition of §4 (following [IKY12]).
+
+    Fixing ε, items of a (profit-normalized) instance split into
+    - large: [p > ε²],
+    - small: [p ≤ ε²] with efficiency [p/w ≥ ε²],
+    - garbage: [p ≤ ε²] with efficiency [p/w < ε²]. *)
+
+type klass = Large | Small | Garbage
+
+val classify : epsilon:float -> Lk_knapsack.Item.t -> klass
+val is_large : epsilon:float -> Lk_knapsack.Item.t -> bool
+val to_string : klass -> string
+
+(** Total normalized profit per class over a full instance (reference
+    computation for experiments; not available to the LCA itself). *)
+val profile :
+  epsilon:float -> Lk_knapsack.Instance.t -> (klass * float * int) list

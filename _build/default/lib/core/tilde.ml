@@ -1,0 +1,91 @@
+module Rng = Lk_util.Rng
+module Access = Lk_oracle.Access
+module Item = Lk_knapsack.Item
+module Instance = Lk_knapsack.Instance
+module Domain = Lk_repro.Domain
+
+type origin = Original of int | Synthetic of int
+type item = { profit : float; weight : float; eff_code : int; origin : origin }
+
+type t = {
+  items : item array;
+  large_indices : int array;
+  large_profit : float;
+  eps : Eps.t;
+  capacity : float;
+  samples_used : int;
+}
+
+let build (params : Params.t) access ~seed ~fresh =
+  let epsilon = params.Params.epsilon in
+  let cutoff = Params.large_profit_cutoff params in
+  (* Line 1-3: sample R̄, dedupe, keep large items. *)
+  let m = Params.r_sample_size params in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to m do
+    let i, it = Access.sample access fresh in
+    if it.Item.profit > cutoff then Hashtbl.replace seen i it
+  done;
+  let large = Hashtbl.fold (fun i it acc -> (i, it) :: acc) seen [] in
+  let large = List.sort (fun (a, _) (b, _) -> compare a b) large in
+  let large_profit =
+    Lk_util.Float_utils.sum (Array.of_list (List.map (fun (_, it) -> it.Item.profit) large))
+  in
+  (* Lines 4-17: EPS from a second sample when small mass is non-trivial. *)
+  let small_mass = 1. -. large_profit in
+  let eps, q_samples =
+    if small_mass < epsilon then (Eps.empty, 0)
+    else begin
+      let n_rq = Params.rq_sample_size params in
+      let a = int_of_float (ceil (3. *. float_of_int n_rq /. (2. *. small_mass))) in
+      let effs = ref [] in
+      for _ = 1 to a do
+        let i, it = Access.sample access fresh in
+        if it.Item.profit <= cutoff then
+          effs := Params.encode_efficiency params ~seed ~index:i (Item.efficiency it) :: !effs
+      done;
+      let encoded = Array.of_list !effs in
+      (Eps.compute params ~seed ~large_profit ~encoded_efficiencies:encoded, a)
+    end
+  in
+  (* Line 18: assemble Ĩ. *)
+  let copies = Params.copies_per_bucket params in
+  let large_items =
+    List.map
+      (fun (i, it) ->
+        {
+          profit = it.Item.profit;
+          weight = it.Item.weight;
+          eff_code = Params.encode_efficiency params ~seed ~index:i (Item.efficiency it);
+          origin = Original i;
+        })
+      large
+  in
+  let synthetic =
+    List.concat
+      (List.init (Eps.length eps) (fun bucket ->
+           let code = Eps.threshold eps (bucket + 1) in
+           let eff = Params.decode_efficiency params code in
+           let profit = epsilon ** 2. in
+           let weight = profit /. eff in
+           List.init copies (fun _ -> { profit; weight; eff_code = code; origin = Synthetic bucket })))
+  in
+  {
+    items = Array.of_list (large_items @ synthetic);
+    large_indices = Array.of_list (List.map fst large);
+    large_profit;
+    eps;
+    capacity = Access.capacity access;
+    samples_used = m + q_samples;
+  }
+
+let to_instance t =
+  if Array.length t.items = 0 then invalid_arg "Tilde.to_instance: empty constructed instance";
+  Instance.make
+    (Array.map (fun it -> Item.make ~profit:it.profit ~weight:it.weight) t.items)
+    ~capacity:t.capacity
+
+let equal a b =
+  a.large_indices = b.large_indices
+  && Eps.length a.eps = Eps.length b.eps
+  && a.eps.Eps.codes = b.eps.Eps.codes

@@ -1,0 +1,41 @@
+(** The constructed instance Ĩ (§4, step 3 of the Ĩ-construction
+    algorithm) together with the sampling phases that feed it
+    (Algorithm 2, lines 1–18).
+
+    Ĩ has the collected large items verbatim (tagged with their original
+    index) plus, for each EPS bucket k, ⌊1/ε⌋ synthetic copies of the
+    representative item (ε², ε²/ẽ_{k+1}).  Garbage is dropped. *)
+
+type origin =
+  | Original of int  (** index in the original instance *)
+  | Synthetic of int  (** EPS bucket the representative stands for *)
+
+type item = { profit : float; weight : float; eff_code : int; origin : origin }
+
+type t = {
+  items : item array;  (** Ĩ's items, in construction order *)
+  large_indices : int array;  (** sorted original indices of L(Ĩ) *)
+  large_profit : float;  (** p(L(Ĩ)) *)
+  eps : Eps.t;
+  capacity : float;  (** K̃ = K *)
+  samples_used : int;  (** |R̄| + |Q̄|: the run's weighted-sample bill *)
+}
+
+(** [build params access ~seed ~fresh] performs one stateless run of the
+    sampling front-end of Algorithm 2 and constructs Ĩ:
+    + draw R̄ (m samples), dedupe, keep large items → L(Ĩ);
+    + if 1 − p(L(Ĩ)) ≥ ε, draw Q̄, drop large items, take encoded
+      efficiencies → EPS via {!Eps.compute} (shared randomness from [seed]);
+    + assemble Ĩ.
+
+    [seed] is the LCA's read-only shared seed; [fresh] the run's private
+    sampling entropy. *)
+val build : Params.t -> Lk_oracle.Access.t -> seed:int64 -> fresh:Lk_util.Rng.t -> t
+
+(** [to_instance t] converts Ĩ into a plain solver instance (for
+    {!Iky_value}'s exact solve).  Raises if Ĩ is empty. *)
+val to_instance : t -> Lk_knapsack.Instance.t
+
+(** Equality of two runs' constructed instances — the consistency witness
+    of Lemma 4.9 (identical Ĩ ⇒ identical answers). *)
+val equal : t -> t -> bool

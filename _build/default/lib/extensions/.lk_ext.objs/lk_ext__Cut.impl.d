@@ -1,0 +1,1 @@
+lib/extensions/cut.ml: Array Lk_knapsack Lk_repro Lk_util

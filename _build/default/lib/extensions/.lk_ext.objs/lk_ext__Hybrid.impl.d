@@ -1,0 +1,1 @@
+lib/extensions/hybrid.ml: Cut Float Hashtbl List Lk_knapsack Lk_oracle Lk_util Oblivious

@@ -1,0 +1,1 @@
+lib/extensions/hybrid.mli: Lk_knapsack Lk_oracle Lk_util Oblivious

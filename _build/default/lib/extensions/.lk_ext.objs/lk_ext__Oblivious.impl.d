@@ -1,0 +1,1 @@
+lib/extensions/oblivious.ml: Cut Lk_knapsack Lk_lca Lk_oracle Lk_util Lk_workloads

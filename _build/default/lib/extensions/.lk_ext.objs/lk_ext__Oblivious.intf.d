@@ -1,0 +1,1 @@
+lib/extensions/oblivious.mli: Lk_knapsack Lk_lca Lk_oracle Lk_workloads

@@ -1,0 +1,53 @@
+(* Internal: greedy efficiency cut-offs in the tie-refined domain, shared by
+   Oblivious and Hybrid.
+
+   [greedy_cut ?max_profit ~capacity instance] sweeps the items of
+   [instance] (optionally ignoring items with profit above [max_profit]) in
+   decreasing efficiency order, grouped by unrefined efficiency code, and
+   returns [(efficiency, refined_code)] such that including every item with
+   refined code >= refined_code fills at most [capacity] in expectation: the
+   class straddling the capacity is cut proportionally via the salt
+   threshold (per-item salts are uniform in the tie range). *)
+
+let tie_bits = 16
+
+let greedy_cut ?(max_profit = infinity) ~capacity instance =
+  let module Instance = Lk_knapsack.Instance in
+  let module Item = Lk_knapsack.Item in
+  let n = Instance.size instance in
+  let coded = ref [] in
+  for i = 0 to n - 1 do
+    let it = Instance.item instance i in
+    if it.Item.profit <= max_profit then
+      coded := (Lk_repro.Domain.encode (Item.efficiency it), it.Item.weight) :: !coded
+  done;
+  let coded = Array.of_list !coded in
+  Array.sort (fun (c1, _) (c2, _) -> compare c2 c1) coded;
+  let m = Array.length coded in
+  let salt_max = Lk_repro.Domain.size tie_bits - 1 in
+  let rec scan pos above_weight =
+    if pos >= m then (* everything fits: include all efficiencies *) (0., 0)
+    else begin
+      let code = fst coded.(pos) in
+      let rec class_end p w =
+        if p < m && fst coded.(p) = code then class_end (p + 1) (w +. snd coded.(p)) else (p, w)
+      in
+      let next, class_weight = class_end pos 0. in
+      if above_weight +. class_weight <= capacity then scan next (above_weight +. class_weight)
+      else begin
+        let fraction =
+          if class_weight <= 0. then 0.
+          else
+            Lk_util.Float_utils.clamp ~lo:0. ~hi:1. ((capacity -. above_weight) /. class_weight)
+        in
+        let salt_cut = int_of_float ((1. -. fraction) *. float_of_int salt_max) in
+        (Lk_repro.Domain.decode code, Lk_repro.Domain.refine ~tie_bits ~code ~salt:salt_cut)
+      end
+    end
+  in
+  scan 0 0.
+
+let refined_code ~seed ~index eff =
+  Lk_repro.Domain.refine ~tie_bits
+    ~code:(Lk_repro.Domain.encode eff)
+    ~salt:(Lk_repro.Domain.salt ~seed ~index)

@@ -1,0 +1,101 @@
+module Rng = Lk_util.Rng
+module Item = Lk_knapsack.Item
+module Instance = Lk_knapsack.Instance
+module Solution = Lk_knapsack.Solution
+module Access = Lk_oracle.Access
+
+type t = {
+  access : Access.t;
+  jumbo_cutoff : float;
+  jumbo_selected : Solution.t;  (* original indices of jumbos answered yes *)
+  small_cut_code : int;  (* refined cut for everything else *)
+  seed : int64;
+  samples_used : int;
+}
+
+let samples_used t = t.samples_used
+
+let create ?(margin = 0.05) ?(jumbo_cutoff = 0.01) model access ~seed ~fresh =
+  if not (margin >= 0. && margin < 1.) then invalid_arg "Hybrid.create: margin in [0, 1)";
+  if not (jumbo_cutoff > 0. && jumbo_cutoff < 1.) then
+    invalid_arg "Hybrid.create: jumbo_cutoff in (0, 1)";
+  (* 1. Discover the jumbos by weighted sampling (Lemma 4.2: items with
+     normalized profit >= delta all appear in O(1/delta · log 1/delta)
+     samples w.h.p.; we amplify once). *)
+  let m =
+    2 * int_of_float (ceil (6. /. jumbo_cutoff *. (log (1. /. jumbo_cutoff) +. 1.)))
+  in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to m do
+    let i, it = Access.sample access fresh in
+    if it.Item.profit > jumbo_cutoff then Hashtbl.replace seen i it
+  done;
+  let jumbos =
+    Hashtbl.fold (fun i it acc -> (i, it) :: acc) seen []
+    |> List.sort (fun (i, a) (j, b) ->
+           let c = Item.compare_by_efficiency_desc a b in
+           if c <> 0 then c else compare i j)
+  in
+  (* 2. Pack the discovered jumbos greedily against the deflated capacity;
+     whatever they consume is subtracted before the model cut is struck. *)
+  let capacity = (1. -. margin) *. Access.capacity access in
+  let taken, jumbo_weight =
+    List.fold_left
+      (fun (sel, w) (i, (it : Item.t)) ->
+        if w +. it.Item.weight <= capacity then (Solution.add i sel, w +. it.Item.weight)
+        else (sel, w))
+      (Solution.empty, 0.) jumbos
+  in
+  (* 3. Model cut for the rest of the capacity, computed on the reference
+     instance restricted to non-jumbo items.  The jumbos' weight share
+     varies between the model draw and the real instance (that is what
+     makes the family lumpy), so the cut capacity is rescaled from real
+     non-jumbo mass into reference non-jumbo mass: both shares are known —
+     the real one from the discovered jumbos' revealed weights, the
+     reference one from the model draw. *)
+  let reference = Oblivious.reference_instance model ~seed in
+  let remaining = Float.max 0. (capacity -. jumbo_weight) in
+  let real_jumbo_share =
+    List.fold_left (fun acc (_, (it : Item.t)) -> acc +. it.Item.weight) 0. jumbos
+  in
+  let ref_jumbo_share =
+    let acc = ref 0. in
+    for i = 0 to Instance.size reference - 1 do
+      let it = Instance.item reference i in
+      if it.Item.profit > jumbo_cutoff then acc := !acc +. it.Item.weight
+    done;
+    !acc
+  in
+  let scale =
+    (1. -. ref_jumbo_share) /. Float.max 1e-9 (1. -. real_jumbo_share)
+  in
+  (* The small-side cut often sits deep in the efficiency tail (the jumbos
+     eat most of the capacity), where reference-vs-real mass deviates the
+     most in relative terms — deflate this side by the margin once more. *)
+  let _, small_cut_code =
+    Cut.greedy_cut ~max_profit:jumbo_cutoff
+      ~capacity:(remaining *. scale *. (1. -. margin))
+      reference
+  in
+  {
+    access;
+    jumbo_cutoff;
+    jumbo_selected = taken;
+    small_cut_code;
+    seed;
+    samples_used = m;
+  }
+
+let member t (item : Item.t) ~index =
+  if item.Item.profit > t.jumbo_cutoff then Solution.mem index t.jumbo_selected
+  else Cut.refined_code ~seed:t.seed ~index (Item.efficiency item) >= t.small_cut_code
+
+let query t i = member t (Access.query t.access i) ~index:i
+
+let induced_solution t =
+  let norm = Access.normalized t.access in
+  let acc = ref Solution.empty in
+  for i = 0 to Instance.size norm - 1 do
+    if member t (Instance.item norm i) ~index:i then acc := Solution.add i !acc
+  done;
+  !acc

@@ -1,0 +1,43 @@
+(** Hybrid average-case LCA: model-based threshold for the bulk, weighted
+    sampling for the atoms.
+
+    Experiment E11 shows where the pure {!Oblivious} rule fails: an item
+    carrying a non-vanishing weight share that straddles the model cut-off
+    overshoots the capacity, and no distributional knowledge can decide it.
+    But such items are exactly the ones a *small* weighted sample exposes
+    (Lemma 4.2's coupon-collector argument)!  The hybrid therefore:
+
+    + collects the "jumbo" items — normalized profit above a cutoff — with
+      one LCA-KP-style sample R̄ (the m = Õ(1/δ) bill, paid per run);
+    + greedily packs the discovered jumbos against a *reserved* slice of
+      the capacity, deciding each individually;
+    + answers all remaining items with the {!Oblivious} model cut-off
+      computed for the remaining capacity.
+
+    This restores feasibility on the lumpy family at a modest per-run
+    sampling cost — three orders of magnitude below LCA-KP's, because the
+    quantile machinery (the expensive part) is replaced by the model.
+    Consistency caveat: like LCA-KP, two runs agree iff their R̄ samples
+    discovered the same jumbo set — which Lemma 4.2 makes likely. *)
+
+type t
+
+(** [create ?margin ?jumbo_cutoff model access ~seed ~fresh] — [jumbo_cutoff]
+    is the normalized-profit threshold above which items are handled
+    individually (default [0.01]); [margin] as in {!Oblivious}. *)
+val create :
+  ?margin:float ->
+  ?jumbo_cutoff:float ->
+  Oblivious.model ->
+  Lk_oracle.Access.t ->
+  seed:int64 ->
+  fresh:Lk_util.Rng.t ->
+  t
+
+(** Weighted samples this run drew. *)
+val samples_used : t -> int
+
+(** [query t i] — one counted point query. *)
+val query : t -> int -> bool
+
+val induced_solution : t -> Lk_knapsack.Solution.t

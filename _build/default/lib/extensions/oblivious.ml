@@ -1,0 +1,57 @@
+module Rng = Lk_util.Rng
+module Gen = Lk_workloads.Gen
+module Item = Lk_knapsack.Item
+module Instance = Lk_knapsack.Instance
+module Solution = Lk_knapsack.Solution
+module Access = Lk_oracle.Access
+
+type model = { family : Gen.family; n : int; capacity_fraction : float }
+
+type t = {
+  access : Access.t;
+  cutoff : float;  (* unrefined efficiency scale *)
+  cutoff_code : int;  (* refined code for consistent comparisons *)
+  seed : int64;
+}
+
+let reference_instance model ~seed =
+  let model_rng = Rng.of_path seed [ "oblivious-model" ] in
+  Instance.normalize
+    (Gen.generate ~capacity_fraction:model.capacity_fraction model.family model_rng ~n:model.n)
+
+let create ?(margin = 0.05) model access ~seed =
+  if not (margin >= 0. && margin < 1.) then invalid_arg "Oblivious.create: margin in [0, 1)";
+  (* Draw the reference instance from the model, deterministically from the
+     shared seed: every machine computes the same cut-off offline. *)
+  let reference = reference_instance model ~seed in
+  let capacity = (1. -. margin) *. Instance.capacity reference in
+  let cutoff, cutoff_code = Cut.greedy_cut ~capacity reference in
+  { access; cutoff; cutoff_code; seed }
+
+let cutoff t = t.cutoff
+
+let member t item ~index =
+  Cut.refined_code ~seed:t.seed ~index (Item.efficiency item) >= t.cutoff_code
+
+let query t i = member t (Access.query t.access i) ~index:i
+
+let induced_solution t =
+  let norm = Access.normalized t.access in
+  let acc = ref Solution.empty in
+  for i = 0 to Instance.size norm - 1 do
+    if member t (Instance.item norm i) ~index:i then acc := Solution.add i !acc
+  done;
+  !acc
+
+let to_lca t =
+  {
+    Lk_lca.Lca.name = "oblivious-avg-case";
+    n = Access.size t.access;
+    fresh_run =
+      (fun _fresh ->
+        {
+          Lk_lca.Lca.answers = (fun i -> query t i);
+          solution = lazy (induced_solution t);
+          samples_used = 0;
+        });
+  }

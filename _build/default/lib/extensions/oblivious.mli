@@ -1,0 +1,59 @@
+(** Average-case LCA (the §5 / [BCPR24] direction, implemented as an
+    exploration).
+
+    The paper's impossibility results (§3) hold for worst-case instances
+    under point-query access; §5 asks whether assuming the input comes from
+    a known *probabilistic process* can bypass them.  This module answers
+    empirically: when the algorithm knows the instance's generative model,
+    it can compute a greedy efficiency cut-off **offline** — by drawing its
+    own reference instance from the model using only the shared seed — and
+    answer each query with a single point query and *zero* weighted
+    samples.
+
+    The rule: answer yes iff the revealed item's (tie-refined) efficiency
+    clears the cut-off, where the cut-off is the greedy break efficiency of
+    the simulated reference instance at a deflated capacity
+    [(1 − margin)·K] (the margin absorbs the deviation between the real
+    instance and the model; concentration makes feasibility hold w.h.p.
+    for i.i.d. families).
+
+    What the experiment (E11) shows:
+    - on i.i.d.-style families (uniform, correlated, even heavy-tail) the
+      oblivious LCA is feasible at a small margin and competitive, at zero
+      per-query sampling cost — average-case assumptions do bypass
+      Theorem 3.2's wall, as the paper's §5 conjectures;
+    - on the {!Lk_workloads.Gen.Lumpy} family it hits a hard limit: a jumbo
+      item straddling the cut-off overshoots the capacity by its own
+      non-vanishing share, which no margin absorbs without surrendering the
+      value — feasibility plateaus below 100% at every margin.  Handling
+      that one item requires instance-specific information, which is what
+      the paper's weighted-sampling oracle provides. *)
+
+type model = {
+  family : Lk_workloads.Gen.family;
+  n : int;
+  capacity_fraction : float;
+}
+
+type t
+
+(** The model-drawn reference instance (deterministic in [seed]); exposed
+    for {!Hybrid} and tests. *)
+val reference_instance : model -> seed:int64 -> Lk_knapsack.Instance.t
+
+(** [create ?margin model access ~seed] simulates a reference instance from
+    [model] (deterministically from [seed]), computes the cut-off, and
+    binds the rule to [access].  [margin] defaults to [0.05]. *)
+val create : ?margin:float -> model -> Lk_oracle.Access.t -> seed:int64 -> t
+
+(** The efficiency cut-off (on the unrefined efficiency scale). *)
+val cutoff : t -> float
+
+(** [query t i] — one counted point query, no sampling. *)
+val query : t -> int -> bool
+
+(** Materialized induced solution (experiment-side). *)
+val induced_solution : t -> Lk_knapsack.Solution.t
+
+(** Wrap as a generic {!Lk_lca.Lca.t} for the measurement harnesses. *)
+val to_lca : t -> Lk_lca.Lca.t

@@ -1,0 +1,1 @@
+lib/hardness/maximal_hard.ml: Array Float Int64 List Lk_knapsack Lk_oracle Lk_util

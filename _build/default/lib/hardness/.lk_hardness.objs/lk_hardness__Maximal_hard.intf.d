@@ -1,0 +1,1 @@
+lib/hardness/maximal_hard.mli: Lk_knapsack Lk_oracle Lk_util

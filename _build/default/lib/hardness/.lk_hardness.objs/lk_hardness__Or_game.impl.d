@@ -1,0 +1,1 @@
+lib/hardness/or_game.ml: Array Fun List Lk_util

@@ -1,0 +1,1 @@
+lib/hardness/or_game.mli: Lk_util

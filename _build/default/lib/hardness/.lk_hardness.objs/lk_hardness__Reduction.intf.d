@@ -1,0 +1,1 @@
+lib/hardness/reduction.mli: Lk_knapsack Lk_oracle Lk_util Or_game

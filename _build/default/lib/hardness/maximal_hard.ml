@@ -1,0 +1,70 @@
+module Rng = Lk_util.Rng
+module Item = Lk_knapsack.Item
+
+type hidden = { n : int; i : int; j : int; light_j : bool }
+
+let draw rng ~n =
+  if n < 2 then invalid_arg "Maximal_hard.draw: need n >= 2";
+  let i = Rng.int_bound rng n in
+  let rec other () =
+    let j = Rng.int_bound rng n in
+    if j = i then other () else j
+  in
+  { n; i; j = other (); light_j = Rng.bool rng }
+
+let special_pair h = (h.i, h.j)
+let j_is_light h = h.light_j
+
+let weight h k =
+  if k < 0 || k >= h.n then invalid_arg "Maximal_hard.weight: index out of range";
+  if k = h.i then 0.75 else if k = h.j then (if h.light_j then 0.25 else 0.75) else 0.
+
+let as_query_oracle h counters =
+  Lk_oracle.Query_oracle.make ~n:h.n ~capacity:1. ~counters (fun k ->
+      Item.make ~profit:0. ~weight:(weight h k))
+
+let instance h =
+  Lk_knapsack.Instance.make
+    (Array.init h.n (fun k -> Item.make ~profit:0. ~weight:(weight h k)))
+    ~capacity:1.
+
+let canonical_answer h ~seed ~budget k =
+  let wk = weight h k in
+  let spent = 1 in
+  if wk < 0.75 then (true, spent)
+  else begin
+    (* Probe positions are derived from the shared seed only, so every run
+       of the LCA inspects the same window of the instance — the
+       coordination a stateless algorithm can actually achieve. *)
+    let probe_rng = Rng.of_path seed [ "maximal-hard-probes" ] in
+    let probes = Rng.sample_distinct probe_rng ~n:h.n ~k:(min (max 0 (budget - 1)) h.n) in
+    let heavy_other =
+      List.find_opt (fun m -> m <> k && weight h m = 0.75) probes
+    in
+    let spent = spent + List.length probes in
+    match heavy_other with
+    | Some m -> (k < m, spent)
+    | None -> (true, spent)
+  end
+
+let play ~n ~budget ~trials rng =
+  if trials <= 0 then invalid_arg "Maximal_hard.play: trials must be positive";
+  let wins = ref 0 in
+  for t = 1 to trials do
+    let h = draw rng ~n in
+    let seed = Int64.of_int (t * 7919) in
+    let ans_i, _ = canonical_answer h ~seed ~budget h.i in
+    let ans_j, _ = canonical_answer h ~seed ~budget h.j in
+    let consistent =
+      if h.light_j then ans_i && ans_j
+      else (ans_i && not ans_j) || ((not ans_i) && ans_j)
+    in
+    if consistent then incr wins
+  done;
+  float_of_int !wins /. float_of_int trials
+
+let analytic_success ~n ~budget =
+  let r = float_of_int (max 0 (min (budget - 1) n)) /. float_of_int (max 1 (n - 1)) in
+  0.5 +. (0.5 *. Float.min 1. r)
+
+let threshold_budget ~n = max 1 (n / 11)

@@ -1,0 +1,47 @@
+(** The hard input distribution and adversary argument of Theorem 3.4:
+    no sublinear LCA provides query access to a *maximal feasible* solution.
+
+    The distribution: weight limit K = 1; a uniformly random pair (i, j)
+    with w_i = 3/4 and w_j ∈ \{1/4, 3/4\} uniformly; every other weight is 0
+    (profits are irrelevant and set to 0).  If w_j = 1/4 the unique maximal
+    solution contains all items; if w_j = 3/4 a maximal solution omits
+    exactly one of \{i, j\}.
+
+    The canonical budgeted algorithm (the proof's forced strategy): on a
+    query k, reveal w_k; answer yes unless w_k = 3/4 *and* the other
+    3/4-item is discovered among [budget − 1] seeded probe positions, in
+    which case exclude the larger index.  The simulation plays the proof's
+    two-query sequence (s_i then s_j, independent runs sharing the seed) and
+    scores it: with w_j = 1/4 both answers must be yes; with w_j = 3/4 the
+    two answers must include exactly one yes (else the run pair is
+    inconsistent with every maximal solution). *)
+
+type hidden
+
+val draw : Lk_util.Rng.t -> n:int -> hidden
+val special_pair : hidden -> int * int
+val j_is_light : hidden -> bool
+val weight : hidden -> int -> float
+
+(** Counted point access to the weights (the only thing the adversary's
+    algorithm may touch). *)
+val as_query_oracle : hidden -> Lk_oracle.Counters.t -> Lk_oracle.Query_oracle.t
+
+(** Full materialization (tests / reference): n items, K = 1. *)
+val instance : hidden -> Lk_knapsack.Instance.t
+
+(** [canonical_answer hidden ~seed ~budget k] — one stateless run of the
+    canonical algorithm answering query [k].  Returns the answer and the
+    number of weight queries spent. *)
+val canonical_answer : hidden -> seed:int64 -> budget:int -> int -> bool * int
+
+(** [play ~n ~budget ~trials rng] — empirical success probability of the
+    two-query game. *)
+val play : n:int -> budget:int -> trials:int -> Lk_util.Rng.t -> float
+
+(** Closed-form approximation 1/2 + r/2 with r = (budget−1)/(n−1): the
+    discovery-rate curve the simulation should follow. *)
+val analytic_success : n:int -> budget:int -> float
+
+(** The theorem's constant: below n/11 queries, success < 4/5. *)
+val threshold_budget : n:int -> int

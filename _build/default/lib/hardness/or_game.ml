@@ -1,0 +1,54 @@
+module Rng = Lk_util.Rng
+
+type input = { bits : bool array }
+
+let zeros n =
+  if n <= 0 then invalid_arg "Or_game.zeros: n must be positive";
+  { bits = Array.make n false }
+
+let one_hot n ~hot =
+  if hot < 0 || hot >= n then invalid_arg "Or_game.one_hot: hot out of range";
+  let bits = Array.make n false in
+  bits.(hot) <- true;
+  { bits }
+
+let draw rng n = if Rng.bool rng then zeros n else one_hot n ~hot:(Rng.int_bound rng n)
+let size { bits } = Array.length bits
+let or_value { bits } = Array.exists Fun.id bits
+
+let bit { bits } i =
+  if i < 0 || i >= Array.length bits then invalid_arg "Or_game.bit: index out of range";
+  bits.(i)
+
+type oracle = { input : input; mutable reads : int }
+
+let oracle input = { input; reads = 0 }
+
+let read o i =
+  if i < 0 || i >= size o.input then invalid_arg "Or_game.read: index out of range";
+  o.reads <- o.reads + 1;
+  o.input.bits.(i)
+
+let reads_used o = o.reads
+
+let best_strategy o ~budget ~rng =
+  let n = size o.input in
+  let budget = min budget n in
+  let picks = Rng.sample_distinct rng ~n ~k:budget in
+  List.exists (fun i -> read o i) picks
+
+let measured_success ~n ~budget ~trials rng =
+  if trials <= 0 then invalid_arg "Or_game.measured_success: trials must be positive";
+  let wins = ref 0 in
+  for _ = 1 to trials do
+    let input = draw rng n in
+    let o = oracle input in
+    if best_strategy o ~budget ~rng = or_value input then incr wins
+  done;
+  float_of_int !wins /. float_of_int trials
+
+let analytic_success ~n ~budget =
+  let q = float_of_int (min budget n) /. float_of_int n in
+  0.5 +. (0.5 *. q)
+
+let budget_for_two_thirds ~n = (n + 2) / 3

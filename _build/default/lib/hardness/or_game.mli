@@ -1,0 +1,52 @@
+(** The OR_n query-complexity game (Lemma 3.1): computing OR of n hidden
+    bits requires Ω(n) queries for 2/3 success.
+
+    Both impossibility reductions (Theorems 3.2 and 3.3) bottom out here, so
+    we make the game executable: a bit oracle that counts reads, the hard
+    input distribution (all-zeros vs. a single random one), and the
+    information-theoretically best bounded-query strategy, whose success
+    probability we can both measure and compute in closed form. *)
+
+type input
+
+(** [zeros n] — the all-zero input (OR = 0). *)
+val zeros : int -> input
+
+(** [one_hot n ~hot] — a single 1 at position [hot] (OR = 1). *)
+val one_hot : int -> hot:int -> input
+
+(** [draw rng n] — the hard distribution: with probability 1/2 all-zeros,
+    otherwise one-hot at a uniform position. *)
+val draw : Lk_util.Rng.t -> int -> input
+
+val size : input -> int
+val or_value : input -> bool
+
+(** [bit input i] — direct uncounted access, for test/reference code only
+    (algorithms under measurement must go through the {!oracle}). *)
+val bit : input -> int -> bool
+
+type oracle
+
+(** Counting read access to the bits. *)
+val oracle : input -> oracle
+
+val read : oracle -> int -> bool
+val reads_used : oracle -> int
+
+(** [best_strategy oracle ~budget ~rng] — the optimal q-query randomized
+    strategy: probe [budget] distinct uniform positions; claim OR = 1 iff a
+    1 was seen.  (One-sided: never errs on OR = 1 sightings; errs on one-hot
+    inputs it fails to hit.) *)
+val best_strategy : oracle -> budget:int -> rng:Lk_util.Rng.t -> bool
+
+(** [measured_success ~n ~budget ~trials rng] — empirical success
+    probability of {!best_strategy} over the hard distribution. *)
+val measured_success : n:int -> budget:int -> trials:int -> Lk_util.Rng.t -> float
+
+(** [analytic_success ~n ~budget] — exact success probability:
+    1/2 + (1/2)·(budget/n). *)
+val analytic_success : n:int -> budget:int -> float
+
+(** Smallest budget guaranteeing success ≥ 2/3: ⌈n/3⌉ — the Ω(n) wall. *)
+val budget_for_two_thirds : n:int -> int

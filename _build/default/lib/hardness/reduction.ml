@@ -1,0 +1,60 @@
+module Item = Lk_knapsack.Item
+module Instance = Lk_knapsack.Instance
+
+type kind = Exact | Approximate of { alpha : float; beta : float }
+type t = { kind : kind; oracle : Or_game.oracle; input : Or_game.input }
+
+let make kind input =
+  (match kind with
+  | Exact -> ()
+  | Approximate { alpha; beta } ->
+      if not (alpha > 0. && alpha <= 1.) then
+        invalid_arg "Reduction.make: alpha must be in (0, 1]";
+      if not (beta > 0. && beta < alpha) then
+        invalid_arg "Reduction.make: beta must be in (0, alpha)");
+  { kind; oracle = Or_game.oracle input; input }
+
+let kind t = t.kind
+let items t = Or_game.size t.input + 1
+let capacity _ = 1.
+let last_profit t = match t.kind with Exact -> 0.5 | Approximate { beta; _ } -> beta
+
+let query_item t i =
+  let n = items t in
+  if i < 0 || i >= n then invalid_arg "Reduction.query_item: index out of range";
+  if i = n - 1 then Item.make ~profit:(last_profit t) ~weight:1.
+  else Item.make ~profit:(if Or_game.read t.oracle i then 1. else 0.) ~weight:1.
+
+let bit_reads t = Or_game.reads_used t.oracle
+
+let as_query_oracle t counters =
+  Lk_oracle.Query_oracle.make ~n:(items t) ~capacity:1. ~counters (query_item t)
+
+let opt_value t = if Or_game.or_value t.input then 1. else last_profit t
+let last_item_in_solution t = not (Or_game.or_value t.input)
+
+let materialize t =
+  let n = items t in
+  Instance.make
+    (Array.init n (fun i ->
+         if i = n - 1 then Item.make ~profit:(last_profit t) ~weight:1.
+         else Item.make ~profit:(if Or_game.bit t.input i then 1. else 0.) ~weight:1.))
+    ~capacity:1.
+
+let budgeted_lca_answer t ~budget ~rng =
+  let n_bits = Or_game.size t.input in
+  let budget = min budget n_bits in
+  let picks = Lk_util.Rng.sample_distinct rng ~n:n_bits ~k:budget in
+  let found_one = List.exists (fun i -> (query_item t i).Item.profit = 1.) picks in
+  not found_one
+
+let measured_success kind ~n ~budget ~trials rng =
+  if n < 2 then invalid_arg "Reduction.measured_success: need n >= 2";
+  let wins = ref 0 in
+  for _ = 1 to trials do
+    let input = Or_game.draw rng (n - 1) in
+    let t = make kind input in
+    let answer = budgeted_lca_answer t ~budget ~rng in
+    if answer = last_item_in_solution t then incr wins
+  done;
+  float_of_int !wins /. float_of_int trials

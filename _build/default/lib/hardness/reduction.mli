@@ -1,0 +1,66 @@
+(** The reductions of Theorems 3.2 and 3.3 (and Figure 1): from computing
+    OR_{n-1}(x) to answering a single LCA query on a simulated Knapsack
+    instance I(x).
+
+    I(x) has n items and weight limit K = 1:
+    - item i < n−1: (profit x_i, weight 1) — revealed by reading bit i;
+    - item n−1: (profit c, weight 1), where c = 1/2 for the exact version
+      (Theorem 3.2) and c = β < α for the α-approximate version
+      (Theorem 3.3).
+
+    Every feasible solution holds at most one item, so item n−1 belongs to
+    an optimal (resp. α-approximate) solution iff OR(x) = 0.  Each Knapsack
+    item query costs at most one bit read — the reduction is local, which
+    is what lets the OR lower bound transfer at full strength. *)
+
+type kind =
+  | Exact  (** Theorem 3.2: last profit 1/2, optimal solutions *)
+  | Approximate of { alpha : float; beta : float }
+      (** Theorem 3.3: last profit β < α, α-approximate solutions *)
+
+type t
+
+(** [make kind input] wires a reduction over an OR input. *)
+val make : kind -> Or_game.input -> t
+
+val kind : t -> kind
+
+(** Number of Knapsack items (= |x| + 1). *)
+val items : t -> int
+
+val capacity : t -> float
+
+(** [query_item t i] reveals Knapsack item [i]; reading item [i < n−1]
+    costs one bit read (counted in the underlying {!Or_game.oracle});
+    reading item n−1 is free. *)
+val query_item : t -> int -> Lk_knapsack.Item.t
+
+(** Bits of [x] read so far. *)
+val bit_reads : t -> int
+
+(** [as_query_oracle t counters] exposes the simulated instance through the
+    standard counted oracle interface. *)
+val as_query_oracle : t -> Lk_oracle.Counters.t -> Lk_oracle.Query_oracle.t
+
+(** Ground truth: value of the optimal solution of I(x). *)
+val opt_value : t -> float
+
+(** Ground truth: is the last item in *the* optimal (resp. a unique
+    α-approximate) solution?  Equals [not (or_value x)]. *)
+val last_item_in_solution : t -> bool
+
+(** [materialize t] builds the full instance eagerly (test-only; reads all
+    bits without counting). *)
+val materialize : t -> Lk_knapsack.Instance.t
+
+(** The best budgeted "LCA" for the single query "is item n−1 in the
+    solution?": probe [budget] distinct simulated items and answer yes iff
+    no profit-1 item was seen.  Returns the answer; bit reads are counted
+    in [t]. *)
+val budgeted_lca_answer : t -> budget:int -> rng:Lk_util.Rng.t -> bool
+
+(** [measured_success kind ~n ~budget ~trials rng] — empirical success of
+    {!budgeted_lca_answer} at deciding the single LCA query over the hard
+    input distribution (n items, i.e. |x| = n−1). *)
+val measured_success :
+  kind -> n:int -> budget:int -> trials:int -> Lk_util.Rng.t -> float

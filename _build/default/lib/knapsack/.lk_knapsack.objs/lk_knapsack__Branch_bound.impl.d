@@ -1,0 +1,1 @@
+lib/knapsack/branch_bound.ml: Array Greedy Instance Item Solution

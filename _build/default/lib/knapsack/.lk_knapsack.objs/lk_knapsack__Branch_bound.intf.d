@@ -1,0 +1,1 @@
+lib/knapsack/branch_bound.mli: Instance Solution

@@ -1,0 +1,1 @@
+lib/knapsack/exact_dp.ml: Array Bytes Char Int_instance Solution

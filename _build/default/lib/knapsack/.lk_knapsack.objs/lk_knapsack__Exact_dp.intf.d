@@ -1,0 +1,1 @@
+lib/knapsack/exact_dp.mli: Int_instance Solution

@@ -1,0 +1,1 @@
+lib/knapsack/fptas.ml: Array Bytes Char Instance Item Solution

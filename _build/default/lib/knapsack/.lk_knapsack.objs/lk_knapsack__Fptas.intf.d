@@ -1,0 +1,1 @@
+lib/knapsack/fptas.mli: Instance Solution

@@ -1,0 +1,1 @@
+lib/knapsack/greedy.ml: Array Instance Item List Solution

@@ -1,0 +1,1 @@
+lib/knapsack/greedy.mli: Instance Solution

@@ -1,0 +1,1 @@
+lib/knapsack/instance.ml: Array Float Item List Lk_util

@@ -1,0 +1,1 @@
+lib/knapsack/instance.mli: Item

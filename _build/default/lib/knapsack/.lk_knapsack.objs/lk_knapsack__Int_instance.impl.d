@@ -1,0 +1,1 @@
+lib/knapsack/int_instance.ml: Array Float Instance Item

@@ -1,0 +1,1 @@
+lib/knapsack/int_instance.mli: Instance

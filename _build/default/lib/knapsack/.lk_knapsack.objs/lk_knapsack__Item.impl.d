@@ -1,0 +1,1 @@
+lib/knapsack/item.ml: Float Format

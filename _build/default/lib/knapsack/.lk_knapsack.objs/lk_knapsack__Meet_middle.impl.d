@@ -1,0 +1,1 @@
+lib/knapsack/meet_middle.ml: Array Instance Item List Solution

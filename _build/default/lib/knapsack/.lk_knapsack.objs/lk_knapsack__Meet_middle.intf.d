@@ -1,0 +1,1 @@
+lib/knapsack/meet_middle.mli: Instance Solution

@@ -1,0 +1,1 @@
+lib/knapsack/nemhauser_ullmann.ml: Instance Item List Solution

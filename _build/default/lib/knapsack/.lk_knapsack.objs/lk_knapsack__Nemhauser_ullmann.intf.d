@@ -1,0 +1,1 @@
+lib/knapsack/nemhauser_ullmann.mli: Instance Solution

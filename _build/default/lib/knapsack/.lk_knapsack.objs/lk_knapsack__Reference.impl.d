@@ -1,0 +1,1 @@
+lib/knapsack/reference.ml: Float Fptas Greedy Instance Item Solution

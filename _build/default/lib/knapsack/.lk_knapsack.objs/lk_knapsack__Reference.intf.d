@@ -1,0 +1,1 @@
+lib/knapsack/reference.mli: Instance

@@ -1,0 +1,1 @@
+lib/knapsack/solution.ml: Array Format Instance Int Item List Lk_util Set

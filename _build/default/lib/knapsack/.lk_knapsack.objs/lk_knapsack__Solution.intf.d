@@ -1,0 +1,1 @@
+lib/knapsack/solution.mli: Format Instance

@@ -1,0 +1,1 @@
+lib/knapsack/verify.ml: Solution

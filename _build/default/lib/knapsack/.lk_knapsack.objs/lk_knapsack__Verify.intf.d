@@ -1,0 +1,1 @@
+lib/knapsack/verify.mli: Instance Solution

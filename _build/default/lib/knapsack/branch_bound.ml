@@ -1,0 +1,41 @@
+exception Node_budget_exceeded
+
+let solve ?(node_budget = 10_000_000) instance =
+  let order = Greedy.efficiency_order instance in
+  let n = Array.length order in
+  let k = Instance.capacity instance in
+  let item pos = Instance.item instance order.(pos) in
+  (* Dantzig bound for the subproblem starting at [pos] with [room] left. *)
+  let bound pos room =
+    let rec go pos room acc =
+      if pos >= n then acc
+      else
+        let it = item pos in
+        if it.Item.weight <= room then go (pos + 1) (room -. it.Item.weight) (acc +. it.Item.profit)
+        else if it.Item.weight = 0. then go (pos + 1) room (acc +. it.Item.profit)
+        else acc +. (it.Item.profit *. room /. it.Item.weight)
+    in
+    go pos room 0.
+  in
+  let best_value = ref neg_infinity and best_set = ref [] in
+  let nodes = ref 0 in
+  (* [chosen] is the DFS path; positions are into [order]. *)
+  let rec dfs pos room value chosen =
+    incr nodes;
+    if !nodes > node_budget then raise Node_budget_exceeded;
+    if value > !best_value then begin
+      best_value := value;
+      best_set := chosen
+    end;
+    if pos < n && value +. bound pos room > !best_value +. 1e-12 then begin
+      let it = item pos in
+      (* Branch "take" first: greedy order makes it the promising branch. *)
+      if it.Item.weight <= room then
+        dfs (pos + 1) (room -. it.Item.weight) (value +. it.Item.profit) (order.(pos) :: chosen);
+      dfs (pos + 1) room value chosen
+    end
+  in
+  dfs 0 k 0. [];
+  (!best_value, Solution.of_indices !best_set)
+
+let value ?node_budget instance = fst (solve ?node_budget instance)

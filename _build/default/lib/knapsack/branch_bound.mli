@@ -1,0 +1,17 @@
+(** Exact branch & bound for (float-valued) Knapsack.
+
+    Depth-first search in efficiency order with the fractional-relaxation
+    upper bound (Dantzig bound).  This is how we "solve the constructed
+    instance Ĩ optimally" (§4: IKY12 solve Ĩ exactly in time exponential in
+    its constant size).  A node budget guards against pathological blow-ups;
+    exceeding it raises {!Node_budget_exceeded} so callers can fall back to
+    the FPTAS with a fine grid. *)
+
+exception Node_budget_exceeded
+
+(** [solve ?node_budget inst] returns [(value, solution)].  Default budget:
+    [10_000_000] nodes. *)
+val solve : ?node_budget:int -> Instance.t -> float * Solution.t
+
+(** [value ?node_budget inst] is the value only. *)
+val value : ?node_budget:int -> Instance.t -> float

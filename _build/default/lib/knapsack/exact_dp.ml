@@ -1,0 +1,93 @@
+let solve (inst : Int_instance.t) =
+  let n = Int_instance.size inst and k = inst.capacity in
+  let dp = Array.make (k + 1) 0 in
+  (* take.(i) is a bitmap over capacities: did item i improve dp at c? *)
+  let take = Array.init n (fun _ -> Bytes.make ((k / 8) + 1) '\000') in
+  let set_bit row c =
+    let byte = c / 8 and bit = c mod 8 in
+    Bytes.set row byte (Char.chr (Char.code (Bytes.get row byte) lor (1 lsl bit)))
+  in
+  let get_bit row c =
+    let byte = c / 8 and bit = c mod 8 in
+    Char.code (Bytes.get row byte) land (1 lsl bit) <> 0
+  in
+  for i = 0 to n - 1 do
+    let w = inst.weights.(i) and p = inst.profits.(i) in
+    for c = k downto w do
+      let candidate = dp.(c - w) + p in
+      if candidate > dp.(c) then begin
+        dp.(c) <- candidate;
+        set_bit take.(i) c
+      end
+    done
+  done;
+  (* Reconstruct by walking items backwards. *)
+  let rec rebuild i c acc =
+    if i < 0 then acc
+    else if get_bit take.(i) c then rebuild (i - 1) (c - inst.weights.(i)) (i :: acc)
+    else rebuild (i - 1) c acc
+  in
+  (dp.(k), Solution.of_indices (rebuild (n - 1) k []))
+
+let value (inst : Int_instance.t) =
+  let k = inst.capacity in
+  let dp = Array.make (k + 1) 0 in
+  for i = 0 to Int_instance.size inst - 1 do
+    let w = inst.weights.(i) and p = inst.profits.(i) in
+    for c = k downto w do
+      if dp.(c - w) + p > dp.(c) then dp.(c) <- dp.(c - w) + p
+    done
+  done;
+  dp.(k)
+
+let min_weight_per_profit (inst : Int_instance.t) =
+  let n = Int_instance.size inst in
+  let total_profit = Array.fold_left ( + ) 0 inst.profits in
+  let table = Array.make (total_profit + 1) max_int in
+  table.(0) <- 0;
+  for i = 0 to n - 1 do
+    let w = inst.weights.(i) and p = inst.profits.(i) in
+    for v = total_profit downto p do
+      if table.(v - p) <> max_int && table.(v - p) + w < table.(v) then
+        table.(v) <- table.(v - p) + w
+    done
+  done;
+  let best = ref 0 in
+  for v = 0 to total_profit do
+    if table.(v) <= inst.capacity then best := v
+  done;
+  (table, !best)
+
+let solve_by_profit (inst : Int_instance.t) =
+  let n = Int_instance.size inst in
+  let total_profit = Array.fold_left ( + ) 0 inst.profits in
+  (* keep.(i).(v): item i achieves profit v by being taken. Reconstructed
+     forward DP with per-item rows; memory n * total_profit bits. *)
+  let table = Array.make (total_profit + 1) max_int in
+  table.(0) <- 0;
+  let take = Array.init n (fun _ -> Bytes.make ((total_profit / 8) + 1) '\000') in
+  let set_bit row v =
+    Bytes.set row (v / 8)
+      (Char.chr (Char.code (Bytes.get row (v / 8)) lor (1 lsl (v mod 8))))
+  in
+  let get_bit row v = Char.code (Bytes.get row (v / 8)) land (1 lsl (v mod 8)) <> 0 in
+  for i = 0 to n - 1 do
+    let w = inst.weights.(i) and p = inst.profits.(i) in
+    for v = total_profit downto p do
+      if table.(v - p) <> max_int && table.(v - p) + w < table.(v) then begin
+        table.(v) <- table.(v - p) + w;
+        set_bit take.(i) v
+      end
+    done
+  done;
+  let best = ref 0 in
+  for v = 0 to total_profit do
+    if table.(v) <= inst.capacity then best := v
+  done;
+  let rec rebuild i v acc =
+    if i < 0 then acc
+    else if v >= inst.profits.(i) && get_bit take.(i) v then
+      rebuild (i - 1) (v - inst.profits.(i)) (i :: acc)
+    else rebuild (i - 1) v acc
+  in
+  (!best, Solution.of_indices (rebuild (n - 1) !best []))

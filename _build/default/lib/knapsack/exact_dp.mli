@@ -1,0 +1,24 @@
+(** Exact dynamic programming for integer Knapsack.
+
+    Two classical formulations:
+    - {!solve}: table over residual capacities, O(n·K) time and
+      O(n·K) bits for solution reconstruction;
+    - {!min_weight_per_profit}: table over achievable profits, the engine of
+      the FPTAS (Williamson–Shmoys §3.2, referenced by the paper's footnote
+      on rounding). *)
+
+(** [solve inst] returns an optimal solution (as indices of the instance)
+    together with its value. *)
+val solve : Int_instance.t -> int * Solution.t
+
+(** [value inst] is the optimal value only, O(K) memory. *)
+val value : Int_instance.t -> int
+
+(** [min_weight_per_profit inst] returns [(table, best)], where [table.(p)]
+    is the minimum weight achieving total profit exactly [p] (or
+    [max_int] when unreachable), and [best] is the optimal total profit. *)
+val min_weight_per_profit : Int_instance.t -> int array * int
+
+(** [solve_by_profit inst] reconstructs an optimal solution through the
+    profit-indexed table; equal value to {!solve}, used as a cross-check. *)
+val solve_by_profit : Int_instance.t -> int * Solution.t

@@ -1,0 +1,58 @@
+let solve ~epsilon instance =
+  if epsilon <= 0. || epsilon >= 1. then invalid_arg "Fptas.solve: epsilon must be in (0, 1)";
+  let n = Instance.size instance in
+  let k = Instance.capacity instance in
+  (* Only items that individually fit can ever be used. *)
+  let usable = ref [] in
+  for i = n - 1 downto 0 do
+    if (Instance.item instance i).Item.weight <= k then usable := i :: !usable
+  done;
+  let usable = Array.of_list !usable in
+  let m = Array.length usable in
+  if m = 0 then (0., Solution.empty)
+  else begin
+    let profit i = (Instance.item instance usable.(i)).Item.profit in
+    let weight i = (Instance.item instance usable.(i)).Item.weight in
+    let p_max = ref 0. in
+    for i = 0 to m - 1 do
+      if profit i > !p_max then p_max := profit i
+    done;
+    if !p_max = 0. then (0., Solution.empty)
+    else begin
+      let mu = epsilon *. !p_max /. float_of_int m in
+      let scaled = Array.init m (fun i -> int_of_float (floor (profit i /. mu))) in
+      let total = Array.fold_left ( + ) 0 scaled in
+      (* min-weight to achieve each scaled profit, with reconstruction. *)
+      let table = Array.make (total + 1) infinity in
+      table.(0) <- 0.;
+      let take = Array.init m (fun _ -> Bytes.make ((total / 8) + 1) '\000') in
+      let set_bit row v =
+        Bytes.set row (v / 8)
+          (Char.chr (Char.code (Bytes.get row (v / 8)) lor (1 lsl (v mod 8))))
+      in
+      let get_bit row v = Char.code (Bytes.get row (v / 8)) land (1 lsl (v mod 8)) <> 0 in
+      for i = 0 to m - 1 do
+        let p = scaled.(i) and w = weight i in
+        for v = total downto p do
+          if table.(v - p) +. w < table.(v) then begin
+            table.(v) <- table.(v - p) +. w;
+            set_bit take.(i) v
+          end
+        done
+      done;
+      let best = ref 0 in
+      for v = 0 to total do
+        if table.(v) <= k then best := v
+      done;
+      let rec rebuild i v acc =
+        if i < 0 then acc
+        else if v >= scaled.(i) && get_bit take.(i) v then
+          rebuild (i - 1) (v - scaled.(i)) (usable.(i) :: acc)
+        else rebuild (i - 1) v acc
+      in
+      let sol = Solution.of_indices (rebuild (m - 1) !best []) in
+      (Solution.profit instance sol, sol)
+    end
+  end
+
+let value ~epsilon instance = fst (solve ~epsilon instance)

@@ -1,0 +1,14 @@
+(** The classical FPTAS for Knapsack (Williamson–Shmoys §3.2, which the
+    paper's §4.2 footnote invokes for its on-the-fly rounding alternative).
+
+    Profits are rounded down to multiples of [μ = ε · p_max / n] and the
+    profit-indexed DP is run on the scaled instance; the returned solution
+    has value at least [(1 − ε) · OPT]. *)
+
+(** [solve ~epsilon inst] returns [(value, solution)] where [value] is the
+    true (unscaled) profit of the returned solution.  Items heavier than the
+    capacity are ignored.  [epsilon] must be in (0, 1). *)
+val solve : epsilon:float -> Instance.t -> float * Solution.t
+
+(** [value ~epsilon inst] is the value only. *)
+val value : epsilon:float -> Instance.t -> float

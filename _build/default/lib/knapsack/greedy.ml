@@ -1,0 +1,70 @@
+let efficiency_order instance =
+  let n = Instance.size instance in
+  let order = Array.init n (fun i -> i) in
+  let key i = Instance.item instance i in
+  Array.sort
+    (fun i j ->
+      let c = Item.compare_by_efficiency_desc (key i) (key j) in
+      if c <> 0 then c else compare i j)
+    order;
+  order
+
+type split = { prefix : int list; break_item : int option }
+
+let split instance =
+  let order = efficiency_order instance in
+  let k = Instance.capacity instance in
+  let rec scan pos weight acc =
+    if pos >= Array.length order then { prefix = List.rev acc; break_item = None }
+    else
+      let i = order.(pos) in
+      let w = (Instance.item instance i).Item.weight in
+      if weight +. w <= k then scan (pos + 1) (weight +. w) (i :: acc)
+      else { prefix = List.rev acc; break_item = Some i }
+  in
+  scan 0 0. []
+
+let prefix_solution instance = Solution.of_indices (split instance).prefix
+
+let half_approx instance =
+  let { prefix; break_item } = split instance in
+  let prefix_sol = Solution.of_indices prefix in
+  match break_item with
+  | None -> prefix_sol
+  | Some b ->
+      let singleton = Solution.singleton b in
+      if
+        Solution.is_feasible instance singleton
+        && Solution.profit instance singleton > Solution.profit instance prefix_sol
+      then singleton
+      else prefix_sol
+
+let skip_greedy instance =
+  let order = efficiency_order instance in
+  let k = Instance.capacity instance in
+  let weight = ref 0. and acc = ref [] in
+  Array.iter
+    (fun i ->
+      let w = (Instance.item instance i).Item.weight in
+      if !weight +. w <= k then begin
+        weight := !weight +. w;
+        acc := i :: !acc
+      end)
+    order;
+  Solution.of_indices !acc
+
+let fractional_value instance =
+  let order = efficiency_order instance in
+  let k = Instance.capacity instance in
+  (* Zero-weight items have infinite efficiency, hence sort first and are
+     always taken fully; once a fractional take happens the knapsack is
+     exactly full and no zero-weight item can remain, so we may return. *)
+  let rec scan pos room value =
+    if pos >= Array.length order then value
+    else
+      let it = Instance.item instance order.(pos) in
+      if it.Item.weight <= room then
+        scan (pos + 1) (room -. it.Item.weight) (value +. it.Item.profit)
+      else value +. (it.Item.profit *. room /. it.Item.weight)
+  in
+  scan 0 k 0.

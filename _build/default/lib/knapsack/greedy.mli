@@ -1,0 +1,36 @@
+(** The greedy family for Knapsack (§1.2 "Related Work" of the paper).
+
+    All functions sort items by non-increasing efficiency [p/w] and scan in
+    that order.  The classic 1/2-approximation takes the better of the
+    greedy *prefix* (items before the first one that does not fit) and the
+    singleton containing that first excluded item — LCA-KP's decision rule
+    (CONVERT-GREEDY, Algorithm 3) is derived from exactly this structure. *)
+
+(** Indices of the instance sorted by non-increasing efficiency, ties broken
+    by non-increasing profit then by index (deterministic). *)
+val efficiency_order : Instance.t -> int array
+
+type split = {
+  prefix : int list;  (** maximal prefix of the efficiency order that fits *)
+  break_item : int option;
+      (** the first item of the order that does not fit, if any *)
+}
+
+(** [split instance] runs the prefix greedy. *)
+val split : Instance.t -> split
+
+(** Greedy prefix as a solution. *)
+val prefix_solution : Instance.t -> Solution.t
+
+(** The classic 1/2-approximation: the better of the greedy prefix and the
+    break-item singleton (when the break item alone is feasible, which holds
+    whenever every weight is at most the capacity). *)
+val half_approx : Instance.t -> Solution.t
+
+(** Greedy that keeps scanning past non-fitting items.  Returns a *maximal*
+    feasible solution (used by the Theorem 3.4 experiments). *)
+val skip_greedy : Instance.t -> Solution.t
+
+(** Optimal value of the Fractional Knapsack relaxation — an upper bound on
+    OPT used by the branch & bound solver. *)
+val fractional_value : Instance.t -> float

@@ -1,0 +1,41 @@
+type t = { items : Item.t array; capacity : float }
+
+let make items ~capacity =
+  if Array.length items = 0 then invalid_arg "Instance.make: no items";
+  if not (Float.is_finite capacity) || capacity < 0. then
+    invalid_arg "Instance.make: capacity must be finite and non-negative";
+  { items; capacity }
+
+let of_pairs pairs ~capacity =
+  let items =
+    Array.of_list (List.map (fun (profit, weight) -> Item.make ~profit ~weight) pairs)
+  in
+  make items ~capacity
+
+let size t = Array.length t.items
+let item t i = t.items.(i)
+let capacity t = t.capacity
+let total_profit t = Lk_util.Float_utils.sum_by (fun (it : Item.t) -> it.profit) t.items
+let total_weight t = Lk_util.Float_utils.sum_by (fun (it : Item.t) -> it.weight) t.items
+
+let map_items f t = { t with items = Array.map f t.items }
+
+let normalize_profits t =
+  let total = total_profit t in
+  if total <= 0. then invalid_arg "Instance.normalize_profits: zero total profit";
+  map_items (fun (it : Item.t) -> { it with profit = it.profit /. total }) t
+
+let normalize t =
+  let tp = total_profit t and tw = total_weight t in
+  if tp <= 0. then invalid_arg "Instance.normalize: zero total profit";
+  if tw <= 0. then invalid_arg "Instance.normalize: zero total weight";
+  let items =
+    Array.map
+      (fun (it : Item.t) -> { Item.profit = it.profit /. tp; weight = it.weight /. tw })
+      t.items
+  in
+  { items; capacity = t.capacity /. tw }
+
+let is_normalized ?(eps = 1e-9) t = Lk_util.Float_utils.approx_eq ~eps (total_profit t) 1.
+let profits t = Array.map (fun (it : Item.t) -> it.profit) t.items
+let weights t = Array.map (fun (it : Item.t) -> it.weight) t.items

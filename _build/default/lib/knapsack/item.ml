@@ -1,0 +1,20 @@
+type t = { profit : float; weight : float }
+
+let make ~profit ~weight =
+  if not (Float.is_finite profit) || profit < 0. then
+    invalid_arg "Item.make: profit must be finite and non-negative";
+  if not (Float.is_finite weight) || weight < 0. then
+    invalid_arg "Item.make: weight must be finite and non-negative";
+  { profit; weight }
+
+let efficiency { profit; weight } = if weight = 0. then infinity else profit /. weight
+let equal a b = a.profit = b.profit && a.weight = b.weight
+
+let compare_by_efficiency_desc a b =
+  (* Descending efficiency; ties broken by descending profit for a
+     deterministic order. *)
+  let c = compare (efficiency b) (efficiency a) in
+  if c <> 0 then c else compare b.profit a.profit
+
+let pp ppf { profit; weight } = Format.fprintf ppf "(p=%g, w=%g)" profit weight
+let to_string t = Format.asprintf "%a" pp t

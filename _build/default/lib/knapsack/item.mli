@@ -1,0 +1,19 @@
+(** A Knapsack item: a non-negative profit and a non-negative weight.
+
+    Matches the paper's §2: an instance is a list of items [a_i = (p_i, w_i)].
+    Weights of zero are allowed (Theorem 3.4's hard distribution uses them);
+    such items have infinite efficiency. *)
+
+type t = { profit : float; weight : float }
+
+(** [make ~profit ~weight] checks both are finite and non-negative. *)
+val make : profit:float -> weight:float -> t
+
+(** Profit-to-weight ratio [p/w] — the greedy ordering key.  Zero-weight
+    items have efficiency [infinity] (they are always worth taking first). *)
+val efficiency : t -> float
+
+val equal : t -> t -> bool
+val compare_by_efficiency_desc : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

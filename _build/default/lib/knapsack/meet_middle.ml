@@ -1,0 +1,68 @@
+(* Enumerate all subsets of items[lo..hi), as (weight, profit, mask). *)
+let enumerate instance lo hi =
+  let count = 1 lsl (hi - lo) in
+  Array.init count (fun mask ->
+      let w = ref 0. and p = ref 0. in
+      for b = 0 to hi - lo - 1 do
+        if mask land (1 lsl b) <> 0 then begin
+          let it = Instance.item instance (lo + b) in
+          w := !w +. it.Item.weight;
+          p := !p +. it.Item.profit
+        end
+      done;
+      (!w, !p, mask))
+
+let solve instance =
+  let n = Instance.size instance in
+  if n > 34 then invalid_arg "Meet_middle.solve: instance too large";
+  let k = Instance.capacity instance in
+  let half = n / 2 in
+  let left = enumerate instance 0 half and right = enumerate instance half n in
+  (* Sort the right half by weight and keep the Pareto frontier: strictly
+     increasing weight, strictly increasing profit. *)
+  Array.sort (fun (w1, p1, _) (w2, p2, _) -> compare (w1, -.p1) (w2, -.p2)) right;
+  let frontier = ref [] in
+  Array.iter
+    (fun (w, p, mask) ->
+      match !frontier with
+      | (_, bp, _) :: _ when p <= bp -> ()
+      | _ -> frontier := (w, p, mask) :: !frontier)
+    right;
+  let frontier = Array.of_list (List.rev !frontier) in
+  (* For each left subset, binary-search the heaviest frontier entry that
+     still fits. *)
+  let best = ref neg_infinity and best_masks = ref (0, 0) in
+  Array.iter
+    (fun (wl, pl, ml) ->
+      if wl <= k then begin
+        let room = k -. wl in
+        let rec search lo hi acc =
+          if lo > hi then acc
+          else
+            let mid = (lo + hi) / 2 in
+            let w, _, _ = frontier.(mid) in
+            if w <= room then search (mid + 1) hi (Some mid) else search lo (mid - 1) acc
+        in
+        match search 0 (Array.length frontier - 1) None with
+        | None ->
+            if pl > !best then begin
+              best := pl;
+              best_masks := (ml, 0)
+            end
+        | Some idx ->
+            let _, pr, mr = frontier.(idx) in
+            if pl +. pr > !best then begin
+              best := pl +. pr;
+              best_masks := (ml, mr)
+            end
+      end)
+    left;
+  let ml, mr = !best_masks in
+  let chosen = ref [] in
+  for b = 0 to half - 1 do
+    if ml land (1 lsl b) <> 0 then chosen := b :: !chosen
+  done;
+  for b = 0 to n - half - 1 do
+    if mr land (1 lsl b) <> 0 then chosen := (half + b) :: !chosen
+  done;
+  (!best, Solution.of_indices !chosen)

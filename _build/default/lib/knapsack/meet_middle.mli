@@ -1,0 +1,8 @@
+(** Exact meet-in-the-middle solver, O(2^{n/2} n).
+
+    Independent cross-check for {!Branch_bound} and {!Exact_dp} on small
+    instances (n ≤ ~34). *)
+
+(** [solve inst] returns [(value, solution)].  Raises [Invalid_argument] for
+    instances with more than 34 items. *)
+val solve : Instance.t -> float * Solution.t

@@ -1,0 +1,63 @@
+exception Frontier_budget_exceeded
+
+(* A frontier state: total weight/profit of a prefix subset, with a parent
+   chain for solution reconstruction. *)
+type state = { weight : float; profit : float; took : int; parent : state option }
+
+let root = { weight = 0.; profit = 0.; took = -1; parent = None }
+
+(* Merge two weight-sorted state lists, keeping the Pareto frontier:
+   weights strictly increasing, profits strictly increasing. *)
+let merge_prune budget xs ys =
+  let rec merge xs ys acc count best_profit =
+    if count > budget then raise Frontier_budget_exceeded;
+    match (xs, ys) with
+    | [], [] -> List.rev acc
+    | x :: xs', [] -> take x xs' [] acc count best_profit
+    | [], y :: ys' -> take y [] ys' acc count best_profit
+    | x :: xs', y :: ys' ->
+        if x.weight < y.weight || (x.weight = y.weight && x.profit >= y.profit) then
+          take x xs' ys acc count best_profit
+        else take y xs ys' acc count best_profit
+  and take s xs ys acc count best_profit =
+    if s.profit > best_profit then merge xs ys (s :: acc) (count + 1) s.profit
+    else merge xs ys acc count best_profit
+  in
+  merge xs ys [] 0 neg_infinity
+
+let frontier ?(frontier_budget = 2_000_000) instance =
+  let k = Instance.capacity instance in
+  let n = Instance.size instance in
+  let rec go i front =
+    if i >= n then front
+    else begin
+      let item = Instance.item instance i in
+      let extended =
+        List.filter_map
+          (fun s ->
+            let weight = s.weight +. item.Item.weight in
+            if weight <= k then
+              Some { weight; profit = s.profit +. item.Item.profit; took = i; parent = Some s }
+            else None)
+          front
+      in
+      go (i + 1) (merge_prune frontier_budget front extended)
+    end
+  in
+  go 0 [ root ]
+
+let solve ?frontier_budget instance =
+  let front = frontier ?frontier_budget instance in
+  (* The frontier is profit-increasing: the best state is the last. *)
+  let best = List.fold_left (fun acc s -> if s.profit > acc.profit then s else acc) root front in
+  let rec rebuild s acc =
+    match s.parent with
+    | None -> acc
+    | Some p -> rebuild p (if s.took >= 0 then s.took :: acc else acc)
+  in
+  (best.profit, Solution.of_indices (rebuild best []))
+
+let value ?frontier_budget instance = fst (solve ?frontier_budget instance)
+
+let frontier_size ?frontier_budget instance =
+  List.length (frontier ?frontier_budget instance)

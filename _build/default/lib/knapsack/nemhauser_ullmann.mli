@@ -1,0 +1,24 @@
+(** Exact Knapsack via the Nemhauser–Ullmann Pareto-frontier recursion.
+
+    Processes items one by one, maintaining the set of *Pareto-optimal*
+    (weight, profit) prefixes: a state survives iff no other state is both
+    lighter and at least as profitable.  Runs in O(n · F) where F is the
+    frontier size — polynomial on most practical inputs (and smoothed
+    instances), exponential only in the worst case, which a budget guards.
+
+    Complements {!Exact_dp} (needs integer data) and {!Branch_bound}
+    (depth-first): this solver is exact on float instances and serves as an
+    independent cross-check. *)
+
+exception Frontier_budget_exceeded
+
+(** [solve ?frontier_budget inst] returns [(value, solution)].  Raises
+    {!Frontier_budget_exceeded} when the frontier would exceed the budget
+    (default 2,000,000 states). *)
+val solve : ?frontier_budget:int -> Instance.t -> float * Solution.t
+
+(** [value ?frontier_budget inst] — value only. *)
+val value : ?frontier_budget:int -> Instance.t -> float
+
+(** Size of the final Pareto frontier (for diagnostics/benches). *)
+val frontier_size : ?frontier_budget:int -> Instance.t -> int

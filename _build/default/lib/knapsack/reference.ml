@@ -1,0 +1,28 @@
+type bracket = { lower : float; upper : float; method_used : string }
+
+let gap b = if b.upper <= 0. then 0. else (b.upper -. b.lower) /. b.upper
+
+let fptas_cells ~epsilon instance =
+  (* The profit-DP table volume the FPTAS would allocate: n rows of
+     Σ floor(p_i/μ) columns with μ = ε·p_max/n. *)
+  let n = Instance.size instance in
+  let p_max = ref 0. and total = ref 0. in
+  for i = 0 to n - 1 do
+    let p = (Instance.item instance i).Item.profit in
+    if p > !p_max then p_max := p;
+    total := !total +. p
+  done;
+  if !p_max <= 0. then 0.
+  else float_of_int n *. (!total /. (epsilon *. !p_max /. float_of_int n))
+
+let estimate ?(budget_cells = 200_000_000) ?(fptas_epsilon = 0.05) instance =
+  let upper = Greedy.fractional_value instance in
+  let greedy_lower =
+    Solution.profit instance (Greedy.half_approx instance)
+  in
+  if fptas_cells ~epsilon:fptas_epsilon instance <= float_of_int budget_cells then begin
+    let v = Fptas.value ~epsilon:fptas_epsilon instance in
+    let lower = Float.max v greedy_lower in
+    { lower; upper = Float.min upper (lower /. (1. -. fptas_epsilon)); method_used = "fptas" }
+  end
+  else { lower = greedy_lower; upper; method_used = "greedy+fractional" }

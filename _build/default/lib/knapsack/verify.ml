@@ -1,0 +1,13 @@
+type report = { feasible : bool; maximal : bool; value : float; weight : float }
+
+let check instance solution =
+  {
+    feasible = Solution.is_feasible instance solution;
+    maximal = Solution.is_maximal instance solution;
+    value = Solution.profit instance solution;
+    weight = Solution.weight instance solution;
+  }
+
+let slack opt = (1e-9 *. abs_float opt) +. 1e-12
+let meets_mult_approx ~alpha ~opt ~value = value >= (alpha *. opt) -. slack opt
+let meets_approx ~alpha ~beta ~opt ~value = value >= (alpha *. opt) -. beta -. slack opt

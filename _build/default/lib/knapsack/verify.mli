@@ -1,0 +1,19 @@
+(** Solution validators, shared by tests and experiments. *)
+
+type report = {
+  feasible : bool;
+  maximal : bool;
+  value : float;
+  weight : float;
+}
+
+(** Full check of a solution against an instance. *)
+val check : Instance.t -> Solution.t -> report
+
+(** [meets_mult_approx ~alpha ~opt ~value] checks [value >= alpha * opt]
+    (with float slack): the α-approximation of Theorem 3.3. *)
+val meets_mult_approx : alpha:float -> opt:float -> value:float -> bool
+
+(** [meets_approx ~alpha ~beta ~opt ~value] checks the paper's Definition
+    2.1 for maximization: [value >= alpha * opt - beta], with float slack. *)
+val meets_approx : alpha:float -> beta:float -> opt:float -> value:float -> bool

@@ -1,0 +1,1 @@
+lib/lca/consistency.ml: Array Float Hashtbl Lazy Lca List Lk_knapsack Lk_util Option String

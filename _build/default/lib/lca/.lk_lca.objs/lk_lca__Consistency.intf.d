@@ -1,0 +1,1 @@
+lib/lca/consistency.mli: Lca Lk_util

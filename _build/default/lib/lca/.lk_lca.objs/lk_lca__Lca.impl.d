@@ -1,0 +1,1 @@
+lib/lca/lca.ml: Lazy Lk_knapsack Lk_util

@@ -1,0 +1,1 @@
+lib/lca/lca.mli: Lazy Lk_knapsack Lk_util

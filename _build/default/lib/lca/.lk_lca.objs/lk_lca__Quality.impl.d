@@ -1,0 +1,1 @@
+lib/lca/quality.ml: Array Float Lazy Lca Lk_knapsack Lk_util

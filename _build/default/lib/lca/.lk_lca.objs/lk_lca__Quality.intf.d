@@ -1,0 +1,1 @@
+lib/lca/quality.mli: Lca Lk_knapsack Lk_util

@@ -1,0 +1,9 @@
+type run = {
+  answers : int -> bool;
+  solution : Lk_knapsack.Solution.t Lazy.t;
+  samples_used : int;
+}
+
+type t = { name : string; n : int; fresh_run : Lk_util.Rng.t -> run }
+
+let query t ~fresh i = ((t.fresh_run fresh).answers) i

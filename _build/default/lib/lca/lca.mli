@@ -1,0 +1,27 @@
+(** The generic Local Computation Algorithm interface (Definition 2.2),
+    abstracting LCA-KP and the baselines behind one shape the measurement
+    harnesses can drive.
+
+    A {e run} models a single stateless execution: the algorithm draws its
+    fresh randomness, does its sampling, and freezes into a decision whose
+    per-index answers are then cheap.  Querying the LCA "properly" (one
+    fresh run per query, as the model demands) is [query]; harnesses may
+    also reuse one run's [answers] across indices — which is sound exactly
+    because answers within a run are, by construction, consistent with one
+    solution. *)
+
+type run = {
+  answers : int -> bool;  (** membership answer for an index *)
+  solution : Lk_knapsack.Solution.t Lazy.t;
+      (** the full solution this run answers according to *)
+  samples_used : int;  (** weighted samples the run consumed *)
+}
+
+type t = {
+  name : string;
+  n : int;  (** number of items of the bound instance *)
+  fresh_run : Lk_util.Rng.t -> run;
+}
+
+(** [query t ~fresh i] — the stateless query: one fresh run, one answer. *)
+val query : t -> fresh:Lk_util.Rng.t -> int -> bool

@@ -1,0 +1,35 @@
+module Solution = Lk_knapsack.Solution
+module Verify = Lk_knapsack.Verify
+
+type report = {
+  runs : int;
+  feasible_rate : float;
+  mean_value : float;
+  min_value : float;
+  mean_ratio : float;
+  min_ratio : float;
+  approx_ok_rate : float;
+}
+
+let evaluate (lca : Lca.t) ~instance ~opt ~alpha ~beta ~runs ~fresh =
+  if runs < 1 then invalid_arg "Quality.evaluate: need at least 1 run";
+  let values = Array.make runs 0. in
+  let feasible = ref 0 and approx_ok = ref 0 in
+  for r = 0 to runs - 1 do
+    let run = lca.Lca.fresh_run fresh in
+    let sol = Lazy.force run.Lca.solution in
+    let value = Solution.profit instance sol in
+    values.(r) <- value;
+    if Solution.is_feasible instance sol then incr feasible;
+    if Verify.meets_approx ~alpha ~beta ~opt ~value then incr approx_ok
+  done;
+  let ratios = Array.map (fun v -> if opt > 0. then v /. opt else 1.) values in
+  {
+    runs;
+    feasible_rate = float_of_int !feasible /. float_of_int runs;
+    mean_value = Lk_util.Float_utils.mean values;
+    min_value = Array.fold_left Float.min values.(0) values;
+    mean_ratio = Lk_util.Float_utils.mean ratios;
+    min_ratio = Array.fold_left Float.min ratios.(0) ratios;
+    approx_ok_rate = float_of_int !approx_ok /. float_of_int runs;
+  }

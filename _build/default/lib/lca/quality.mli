@@ -1,0 +1,27 @@
+(** Solution-quality measurement (Lemmas 4.7 and 4.8 / Theorem 4.1): for a
+    batch of independent runs, materialize each induced solution and check
+    feasibility and the (α, β)-approximation value against a reference
+    optimum. *)
+
+type report = {
+  runs : int;
+  feasible_rate : float;  (** fraction of runs with w(C) ≤ K — Lemma 4.7 wants 1.0 *)
+  mean_value : float;  (** mean p(C) (normalized units) *)
+  min_value : float;
+  mean_ratio : float;  (** mean p(C)/OPT *)
+  min_ratio : float;
+  approx_ok_rate : float;  (** fraction meeting p(C) ≥ α·OPT − β *)
+}
+
+(** [evaluate lca ~instance ~opt ~alpha ~beta ~runs ~fresh] — [instance]
+    must be the normalized instance the LCA answers about; [opt] its
+    reference optimum (normalized units). *)
+val evaluate :
+  Lca.t ->
+  instance:Lk_knapsack.Instance.t ->
+  opt:float ->
+  alpha:float ->
+  beta:float ->
+  runs:int ->
+  fresh:Lk_util.Rng.t ->
+  report

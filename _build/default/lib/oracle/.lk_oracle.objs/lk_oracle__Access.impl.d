@@ -1,0 +1,1 @@
+lib/oracle/access.ml: Array Counters Lk_knapsack Query_oracle Weighted_oracle

@@ -1,0 +1,1 @@
+lib/oracle/access.mli: Counters Lk_knapsack Lk_util

@@ -1,0 +1,1 @@
+lib/oracle/counters.mli:

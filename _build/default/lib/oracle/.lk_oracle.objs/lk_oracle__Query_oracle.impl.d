@@ -1,0 +1,1 @@
+lib/oracle/query_oracle.ml: Counters Lk_knapsack

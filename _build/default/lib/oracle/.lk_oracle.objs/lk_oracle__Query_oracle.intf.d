@@ -1,0 +1,1 @@
+lib/oracle/query_oracle.mli: Counters Lk_knapsack

@@ -1,0 +1,1 @@
+lib/oracle/weighted_oracle.ml: Array Counters Lk_knapsack Lk_stats

@@ -1,0 +1,1 @@
+lib/oracle/weighted_oracle.mli: Counters Lk_knapsack Lk_util

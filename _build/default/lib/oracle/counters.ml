@@ -1,0 +1,17 @@
+type t = { mutable index_queries : int; mutable weighted_samples : int }
+
+let create () = { index_queries = 0; weighted_samples = 0 }
+let index_queries t = t.index_queries
+let weighted_samples t = t.weighted_samples
+let total t = t.index_queries + t.weighted_samples
+let charge_index_query t = t.index_queries <- t.index_queries + 1
+let charge_weighted_sample t = t.weighted_samples <- t.weighted_samples + 1
+
+let reset t =
+  t.index_queries <- 0;
+  t.weighted_samples <- 0
+
+let delta f t =
+  let q0 = t.index_queries and s0 = t.weighted_samples in
+  let result = f () in
+  (result, (t.index_queries - q0, t.weighted_samples - s0))

@@ -1,0 +1,27 @@
+(** Query accounting.
+
+    Every complexity claim in the paper is about *query* complexity
+    (footnote 1: queries lower-bound time).  Oracles charge each access to a
+    counter so experiments can report measured query costs rather than
+    asserted ones. *)
+
+type t
+
+val create : unit -> t
+
+(** Number of point queries ("reveal item i") charged so far. *)
+val index_queries : t -> int
+
+(** Number of weighted samples charged so far. *)
+val weighted_samples : t -> int
+
+(** Total accesses of both kinds. *)
+val total : t -> int
+
+val charge_index_query : t -> unit
+val charge_weighted_sample : t -> unit
+val reset : t -> unit
+
+(** [delta f t] runs [f ()] and returns its result together with the
+    [(index_queries, weighted_samples)] consumed during the call. *)
+val delta : (unit -> 'a) -> t -> 'a * (int * int)

@@ -1,0 +1,35 @@
+exception Budget_exhausted
+
+type t = {
+  n : int;
+  capacity : float;
+  counters : Counters.t;
+  reveal : int -> Lk_knapsack.Item.t;
+  budget : int option;
+  mutable used : int;
+}
+
+let make ~n ~capacity ~counters reveal =
+  { n; capacity; counters; reveal; budget = None; used = 0 }
+
+let of_instance ~counters inst =
+  make
+    ~n:(Lk_knapsack.Instance.size inst)
+    ~capacity:(Lk_knapsack.Instance.capacity inst)
+    ~counters
+    (Lk_knapsack.Instance.item inst)
+
+let size t = t.n
+let capacity t = t.capacity
+let counters t = t.counters
+let with_budget t budget = { t with budget = Some budget; used = 0 }
+
+let item t i =
+  if i < 0 || i >= t.n then invalid_arg "Query_oracle.item: index out of range";
+  (match t.budget with
+  | Some b ->
+      if t.used >= b then raise Budget_exhausted;
+      t.used <- t.used + 1
+  | None -> ());
+  Counters.charge_index_query t.counters;
+  t.reveal i

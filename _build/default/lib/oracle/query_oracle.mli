@@ -1,0 +1,32 @@
+(** Point-query access to a Knapsack instance (Definition 2.2).
+
+    The algorithm knows the number of items [n] and the capacity [K] for
+    free; revealing an item's (profit, weight) costs one counted query.  The
+    backing store may be a materialized instance or a lazy function — the
+    latter is how the lower-bound reductions (§3) expose a Knapsack view of
+    a hidden OR-input without constructing it. *)
+
+type t
+
+(** [make ~n ~capacity ~counters reveal] builds an oracle over the item
+    function [reveal : int -> Item.t]. *)
+val make :
+  n:int -> capacity:float -> counters:Counters.t -> (int -> Lk_knapsack.Item.t) -> t
+
+(** [of_instance ~counters inst] wraps a materialized instance. *)
+val of_instance : counters:Counters.t -> Lk_knapsack.Instance.t -> t
+
+val size : t -> int
+val capacity : t -> float
+val counters : t -> Counters.t
+
+exception Budget_exhausted
+
+(** [with_budget t budget] returns a view of [t] that raises
+    {!Budget_exhausted} once more than [budget] index queries have been
+    charged through the view. *)
+val with_budget : t -> int -> t
+
+(** [item t i] reveals item [i], charging one query.  Raises
+    [Invalid_argument] when [i] is out of range. *)
+val item : t -> int -> Lk_knapsack.Item.t

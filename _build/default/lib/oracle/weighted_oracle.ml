@@ -1,0 +1,23 @@
+type t = {
+  instance : Lk_knapsack.Instance.t;
+  alias : Lk_stats.Alias.t;
+  counters : Counters.t;
+}
+
+let of_weights ~counters instance weights =
+  if Array.length weights <> Lk_knapsack.Instance.size instance then
+    invalid_arg "Weighted_oracle.of_weights: length mismatch";
+  { instance; alias = Lk_stats.Alias.create weights; counters }
+
+let of_instance ~counters instance =
+  of_weights ~counters instance (Lk_knapsack.Instance.profits instance)
+
+let size t = Lk_knapsack.Instance.size t.instance
+let counters t = t.counters
+
+let sample t rng =
+  Counters.charge_weighted_sample t.counters;
+  let i = Lk_stats.Alias.sample t.alias rng in
+  (i, Lk_knapsack.Instance.item t.instance i)
+
+let sample_many t rng k = Array.init k (fun _ -> sample t rng)

@@ -1,0 +1,29 @@
+(** Weighted-sampling access to a Knapsack instance (§4 of the paper,
+    following [IKY12]): drawing returns an item with probability
+    proportional to its profit, together with its index.
+
+    Building the sampler (an alias table) is the oracle's one-time cost and
+    is not charged to the algorithm, matching the model: the algorithm pays
+    one counted sample per draw. *)
+
+type t
+
+(** [of_instance ~counters inst] builds a sampler over [inst]'s profits.
+    Raises if the total profit is zero. *)
+val of_instance : counters:Counters.t -> Lk_knapsack.Instance.t -> t
+
+(** [of_weights ~counters inst weights] samples indices of [inst]
+    proportionally to an arbitrary non-negative [weights] array (oracle
+    ablations; see {!Lk_oracle.Access.sampling}). *)
+val of_weights : counters:Counters.t -> Lk_knapsack.Instance.t -> float array -> t
+
+(** Number of items. *)
+val size : t -> int
+
+val counters : t -> Counters.t
+
+(** [sample t rng] draws one item: [(index, item)], charging one sample. *)
+val sample : t -> Lk_util.Rng.t -> int * Lk_knapsack.Item.t
+
+(** [sample_many t rng k] draws [k] items i.i.d. *)
+val sample_many : t -> Lk_util.Rng.t -> int -> (int * Lk_knapsack.Item.t) array

@@ -1,0 +1,1 @@
+lib/reproducible/domain.ml: Int64 Lk_util

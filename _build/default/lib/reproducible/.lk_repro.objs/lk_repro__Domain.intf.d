@@ -1,0 +1,1 @@
+lib/reproducible/domain.mli:

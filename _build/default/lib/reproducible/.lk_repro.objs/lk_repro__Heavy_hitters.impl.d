@@ -1,0 +1,1 @@
+lib/reproducible/heavy_hitters.ml: Array Lk_stats Lk_util

@@ -1,0 +1,1 @@
+lib/reproducible/heavy_hitters.mli: Lk_util

@@ -1,0 +1,1 @@
+lib/reproducible/repro_harness.ml: Array Hashtbl Lk_util Option

@@ -1,0 +1,1 @@
+lib/reproducible/repro_harness.mli: Lk_util

@@ -1,0 +1,1 @@
+lib/reproducible/rmean.ml: Array Float Lk_util

@@ -1,0 +1,1 @@
+lib/reproducible/rmean.mli: Lk_util

@@ -1,0 +1,1 @@
+lib/reproducible/rmedian.ml: Array Domain Heavy_hitters List Lk_stats Lk_util

@@ -1,0 +1,1 @@
+lib/reproducible/rmedian.mli: Lk_stats Lk_util

@@ -1,0 +1,1 @@
+lib/reproducible/rquantile.ml: Array Domain Float Lk_util Rmedian

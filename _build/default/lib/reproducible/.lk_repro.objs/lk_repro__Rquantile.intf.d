@@ -1,0 +1,1 @@
+lib/reproducible/rquantile.mli: Lk_stats Lk_util

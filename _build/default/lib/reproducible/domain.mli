@@ -1,0 +1,53 @@
+(** Finite-domain encoding of efficiencies (§4.2 "Mapping to a finite
+    domain").
+
+    The reproducible-median machinery operates on a well-ordered finite
+    domain [X] of size [2^d].  The paper bounds the efficiency domain by a
+    bit-complexity argument; we realize it with a monotone fixed-point map
+    from [[0, ∞]] into [[0, 2^bits)]:
+
+    {[ encode e = floor (e / (1 + e) * 2^bits) ]}
+
+    which is order-preserving, covers the whole efficiency range, and gives
+    [log* |X| = log* 2^bits] — the quantity the query complexity of
+    Theorem 4.1 depends on. *)
+
+(** Default domain width: 32 bits, i.e. [|X| = 2^32]. *)
+val default_bits : int
+
+(** [size bits] is [2^bits]. *)
+val size : int -> int
+
+(** [encode ?bits e] maps an efficiency [e >= 0] (possibly [infinity]) into
+    [[0, 2^bits)], monotonically. *)
+val encode : ?bits:int -> float -> int
+
+(** [decode ?bits c] is a representative efficiency of cell [c] (the cell
+    midpoint mapped back).  [decode (encode e)] is within one cell of [e]. *)
+val decode : ?bits:int -> int -> float
+
+(** [exponent_bits bits] is the width of the domain needed to hold the
+    value [bits] itself — the domain of *scale exponents*, which is what the
+    rMedian recursion descends to (size [2^bits] ↦ [bits + 1] values).  This
+    is the source of the [log*] recursion depth. *)
+val exponent_bits : int -> int
+
+(** Tie-broken refinement of the encoding.  The paper's §4.2 finite-domain
+    argument implicitly assumes efficiencies are distinct rationals; real
+    instances (e.g. subset-sum, where p_i = w_i for every item) can put
+    unbounded mass on a single efficiency value, making every threshold
+    rule of the form [eff ≥ c] either take all of a tied class or none of
+    it — which breaks both the EPS property and the feasibility argument.
+    [refine] appends [tie_bits] of per-item salt below the encoded
+    efficiency: monotone in the true efficiency, deterministic in
+    (seed, index) — hence identical across runs — and injective enough to
+    restore the distinct-values assumption. *)
+
+val refine : tie_bits:int -> code:int -> salt:int -> int
+
+(** [coarse ~tie_bits code] recovers the unrefined efficiency code. *)
+val coarse : tie_bits:int -> int -> int
+
+(** [salt ~seed ~index] — the per-item tie-break value (full 62-bit range;
+    [refine] masks it down). *)
+val salt : seed:int64 -> index:int -> int

@@ -1,0 +1,31 @@
+module Rng = Lk_util.Rng
+module Empirical = Lk_stats.Empirical
+module Dkw = Lk_stats.Dkw
+
+type params = { threshold : float; rho : float }
+
+let validate p =
+  if not (p.threshold > 0. && p.threshold <= 1.) then
+    invalid_arg "Heavy_hitters: threshold must be in (0, 1]";
+  if not (p.rho > 0. && p.rho < 1.) then invalid_arg "Heavy_hitters: rho must be in (0, 1)"
+
+let sample_size ?(scale = 1.) p =
+  validate p;
+  (* Each element's empirical mass must sit within ρ·(window width)/2 of
+     truth; the window is threshold/2 wide and there are at most
+     2/threshold candidates near it, so a DKW-style budget with deviation
+     ρ·threshold/8 suffices with room to spare. *)
+  let confidence = 1. -. (p.rho /. 2.) in
+  let dkw = Dkw.samples_needed ~epsilon:(p.rho *. p.threshold /. 8.) ~confidence in
+  max 256 (int_of_float (ceil (scale *. float_of_int dkw)))
+
+let cutoff p ~shared =
+  validate p;
+  Rng.uniform shared (p.threshold /. 2.) p.threshold
+
+let run p ~shared samples =
+  validate p;
+  if Array.length samples = 0 then invalid_arg "Heavy_hitters.run: empty sample";
+  let theta_hat = cutoff p ~shared in
+  let e = Empirical.of_samples samples in
+  Empirical.heavy_points e ~threshold:theta_hat

@@ -1,0 +1,36 @@
+(** Reproducible heavy hitters ([ILPS22]'s other flagship primitive, and an
+    internal building block of {!Rmedian}).
+
+    Given fresh i.i.d. samples of a distribution over a finite domain,
+    return the set of elements whose mass exceeds a target threshold — with
+    the *same* set returned across runs w.h.p.  The device is the same
+    shared-randomness trick as everywhere in this library: the cutoff
+    itself is drawn from the shared randomness inside a window
+    [[threshold/2, threshold]], so two runs disagree on an element only if
+    its (concentrated) empirical mass falls within their CDF gap of the
+    random cutoff. *)
+
+type params = {
+  threshold : float;  (** elements with mass ≥ threshold must be returned *)
+  rho : float;  (** target reproducibility failure bound *)
+}
+
+val validate : params -> unit
+
+(** Fresh-sample budget sized so per-element empirical masses concentrate
+    to a ρ-fraction of the cutoff window. *)
+val sample_size : ?scale:float -> params -> int
+
+(** [run params ~shared samples] returns the detected heavy elements with
+    their empirical masses, in increasing element order.
+
+    Guarantees (measured in tests):
+    - every element with true mass ≥ [threshold] is returned w.h.p.;
+    - no element with true mass < [threshold/4] is returned w.h.p.;
+    - two runs on fresh samples return the same set w.p. ≥ 1 − ρ. *)
+val run : params -> shared:Lk_util.Rng.t -> int array -> (int * float) list
+
+(** [cutoff params ~shared] — the shared random cutoff in
+    [[threshold/2, threshold]]; exposed for callers embedding the primitive
+    (e.g. {!Rmedian}). *)
+val cutoff : params -> shared:Lk_util.Rng.t -> float

@@ -1,0 +1,27 @@
+module Rng = Lk_util.Rng
+
+type params = { tau : float; rho : float }
+
+let validate p =
+  if not (p.tau > 0. && p.tau <= 0.5) then invalid_arg "Rmean: tau must be in (0, 1/2]";
+  if not (p.rho > 0. && p.rho < 1.) then invalid_arg "Rmean: rho must be in (0, 1)"
+
+let sample_size ?(scale = 1.) p =
+  validate p;
+  (* Hoeffding: the empirical mean of [0,1] variables deviates by less than
+     ρ·τ/2 with probability 1 − ρ/2 at n = 2 ln(4/ρ) / (ρτ)². *)
+  let n = 2. *. log (4. /. p.rho) /. ((p.rho *. p.tau) ** 2.) in
+  max 256 (int_of_float (ceil (scale *. n)))
+
+let run p ~shared samples =
+  validate p;
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Rmean.run: empty sample";
+  Array.iter
+    (fun x -> if not (x >= 0. && x <= 1.) then invalid_arg "Rmean.run: samples must be in [0, 1]")
+    samples;
+  let spacing = p.tau in
+  let offset = Rng.uniform shared 0. spacing in
+  let mean = Lk_util.Float_utils.mean samples in
+  let rounded = offset +. (spacing *. Float.round ((mean -. offset) /. spacing)) in
+  Lk_util.Float_utils.clamp ~lo:0. ~hi:1. rounded

@@ -1,0 +1,21 @@
+(** Reproducible mean estimation — [ILPS22]'s rSTAT primitive for a single
+    statistical query, the simplest member of the reproducibility toolbox
+    (and a useful contrast to {!Rmedian}: no log* recursion is needed
+    because the output lives on ℝ where a single randomized grid works).
+
+    The estimator: compute the empirical mean of samples in [[0, 1]], then
+    round it to a shared-randomness offset grid of spacing ~τ.  Two runs'
+    empirical means differ by a ρ-fraction of the spacing, so they round to
+    the same grid point w.p. ≥ 1 − ρ; the grid quantization keeps the
+    answer within τ of the true mean. *)
+
+type params = {
+  tau : float;  (** target accuracy, in (0, 1/2] *)
+  rho : float;  (** target reproducibility failure bound *)
+}
+
+val validate : params -> unit
+val sample_size : ?scale:float -> params -> int
+
+(** [run params ~shared samples] — samples must lie in [[0, 1]]. *)
+val run : params -> shared:Lk_util.Rng.t -> float array -> float

@@ -1,0 +1,112 @@
+module Rng = Lk_util.Rng
+module Empirical = Lk_stats.Empirical
+module Dkw = Lk_stats.Dkw
+module Fu = Lk_util.Float_utils
+
+type params = { tau : float; rho : float; bits : int }
+
+let base_bits = 6
+let bootstrap_chunks = 64
+let min_chunk = 64
+
+let validate p =
+  if not (p.tau > 0. && p.tau <= 0.5) then invalid_arg "Rmedian: tau must be in (0, 1/2]";
+  if not (p.rho > 0. && p.rho < 1.) then invalid_arg "Rmedian: rho must be in (0, 1)";
+  if p.bits < 1 || p.bits > 62 then invalid_arg "Rmedian: bits must be in [1, 62]"
+
+let rec recursion_depth bits =
+  if bits <= base_bits then 1 else 1 + recursion_depth (Domain.exponent_bits bits)
+
+let sample_size ?(scale = 1.) p =
+  validate p;
+  (* Reproducibility needs the empirical CDF within ~ρ·τ of truth: a run
+     pair disagrees when the shared threshold q̂ (drawn in a τ/2-wide
+     window) falls inside the two runs' CDF gap at a crossing candidate, so
+     the gap must be a ρ-fraction of the window.  This is the source of the
+     1/(ρ²τ²) factor in Theorem 2.7. *)
+  let confidence = 1. -. (p.rho /. 2.) in
+  let dkw = Dkw.samples_needed ~epsilon:(p.rho *. p.tau /. 3.) ~confidence in
+  max 512 (int_of_float (ceil (scale *. float_of_int dkw)))
+
+let theoretical_sample_complexity p =
+  let log_star = Fu.iterated_log2 (2. ** float_of_int p.bits) in
+  1. /. (p.tau ** 2. *. p.rho ** 2.) *. ((3. /. (p.tau ** 2.)) ** float_of_int log_star)
+
+(* Draw the shared random threshold near rank [p]: the pivotal trick — the
+   target rank carries the shared randomness, so two runs disagree only when
+   some domain point's empirical CDF straddles q̂. *)
+let draw_threshold ~shared ~tau p =
+  let q = p -. (tau /. 4.) +. (tau /. 2. *. Rng.float shared) in
+  Fu.clamp ~lo:1e-9 ~hi:1. q
+
+let rec quantile ?empirical params ~shared ~p samples =
+  validate params;
+  if Array.length samples = 0 then invalid_arg "Rmedian.quantile: empty sample";
+  let e = match empirical with Some e -> e | None -> Empirical.of_samples samples in
+  let q_hat = draw_threshold ~shared ~tau:params.tau p in
+  if params.bits <= base_bits then
+    (* Base case: tiny domain, the random threshold alone suffices (at most
+       2^base_bits straddle candidates). *)
+    Empirical.quantile e q_hat
+  else begin
+    (* Heavy-point shortcut: a domain point carrying mass >= θ̂ across q̂ is
+       detected identically by both runs and returned verbatim.  The cutoff
+       randomization is the {!Heavy_hitters} primitive. *)
+    let theta_hat =
+      Heavy_hitters.cutoff
+        { Heavy_hitters.threshold = params.tau /. 2.; rho = params.rho }
+        ~shared
+    in
+    let heavy = Empirical.heavy_points e ~threshold:theta_hat in
+    let straddler =
+      List.find_opt
+        (fun (v, _) -> Empirical.cdf e v >= q_hat && Empirical.cdf_strict e v < q_hat)
+        heavy
+    in
+    (* Shared randomness is consumed in a fixed order regardless of the
+       branch taken, so parallel runs stay aligned. *)
+    let boundary_shift = Rng.float shared in
+    let rec_shared = Rng.split shared in
+    let n = Array.length samples in
+    let spacing =
+      if n < bootstrap_chunks * min_chunk then 1
+      else begin
+        (* Bootstrap the width of the q̂±τ/4 quantile interval on chunks,
+           then pick its scale exponent by a *recursive* reproducible median
+           over the exponent domain [0 .. bits] — the log* step.  The shared
+           [boundary_shift] randomizes the power-of-two rounding boundary so
+           no width distribution can sit exactly on an exponent edge. *)
+        let chunk = n / bootstrap_chunks in
+        let widths =
+          Array.init bootstrap_chunks (fun c ->
+              let sub = Array.sub samples (c * chunk) chunk in
+              let ce = Empirical.of_samples sub in
+              let a = Empirical.quantile ce (q_hat -. (params.tau /. 4.)) in
+              let b = Empirical.quantile ce (q_hat +. (params.tau /. 4.)) in
+              let w = float_of_int (max 1 (b - a)) in
+              max 0 (int_of_float (floor (Fu.log2 w +. boundary_shift))))
+        in
+        let rec_params =
+          { tau = 0.25; rho = params.rho /. 2.; bits = Domain.exponent_bits params.bits }
+        in
+        let j = quantile rec_params ~shared:rec_shared ~p:0.5 widths in
+        (* (recursive call sorts its own 64-element width sample) *)
+        max 1 (1 lsl (max 0 (min 61 j - 1)))
+      end
+    in
+    let offset = if spacing = 1 then 0 else Rng.int_bound shared spacing in
+    match straddler with
+    | Some (v, _) -> v
+    | None ->
+        let size = Domain.size params.bits in
+        let nth m = min (size - 1) (offset + (m * spacing)) in
+        let count = ((size - offset + spacing - 1) / spacing) + 1 in
+        (match Empirical.crossing e ~grid:(count, nth) q_hat with
+        | Some g -> g
+        | None ->
+            (* Unreachable: the last grid point clamps to the domain top,
+               whose empirical CDF is 1 >= q̂. *)
+            Empirical.quantile e q_hat)
+  end
+
+let median ?empirical params ~shared samples = quantile ?empirical params ~shared ~p:0.5 samples

@@ -1,0 +1,1 @@
+lib/stats/alias.ml: Array Float Lk_util Queue

@@ -1,0 +1,1 @@
+lib/stats/alias.mli: Lk_util

@@ -1,0 +1,1 @@
+lib/stats/dkw.mli:

@@ -1,0 +1,36 @@
+type t = {
+  prob : float array;  (* probability of staying in the cell *)
+  alias : int array;   (* fallback index of the cell *)
+  weights : float array;  (* normalized weights, for [probability] *)
+}
+
+let create weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Alias.create: empty weights";
+  Array.iter (fun w -> if w < 0. || not (Float.is_finite w) then
+                 invalid_arg "Alias.create: weights must be finite and non-negative") weights;
+  let total = Lk_util.Float_utils.sum weights in
+  if total <= 0. then invalid_arg "Alias.create: total weight must be positive";
+  let norm = Array.map (fun w -> w /. total) weights in
+  let scaled = Array.map (fun p -> p *. float_of_int n) norm in
+  let prob = Array.make n 1. and alias = Array.init n (fun i -> i) in
+  let small = Queue.create () and large = Queue.create () in
+  Array.iteri (fun i s -> Queue.push i (if s < 1. then small else large)) scaled;
+  while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+    let s = Queue.pop small and l = Queue.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+    Queue.push l (if scaled.(l) < 1. then small else large)
+  done;
+  (* Remaining cells keep probability 1 (numerical leftovers). *)
+  { prob; alias; weights = norm }
+
+let size t = Array.length t.prob
+let probability t i = t.weights.(i)
+
+let sample t rng =
+  let i = Lk_util.Rng.int_bound rng (size t) in
+  if Lk_util.Rng.float rng < t.prob.(i) then i else t.alias.(i)
+
+let sample_many t rng k = Array.init k (fun _ -> sample t rng)

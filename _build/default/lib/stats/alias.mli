@@ -1,0 +1,25 @@
+(** Walker/Vose alias method: O(n) preprocessing, O(1) weighted sampling.
+
+    This is the engine behind the paper's weighted-sampling oracle (§4):
+    items are drawn with probability proportional to their profit.  The
+    table is built once per instance by the oracle — the *algorithm* under
+    measurement only pays one sample per draw, matching the model. *)
+
+type t
+
+(** [create weights] builds a sampler over indices [0 .. n-1] with
+    probabilities proportional to [weights].  Weights must be non-negative
+    with a positive sum. *)
+val create : float array -> t
+
+(** Number of categories. *)
+val size : t -> int
+
+(** [probability t i] is the exact sampling probability of index [i]. *)
+val probability : t -> int -> float
+
+(** [sample t rng] draws one index. *)
+val sample : t -> Lk_util.Rng.t -> int
+
+(** [sample_many t rng k] draws [k] indices i.i.d. *)
+val sample_many : t -> Lk_util.Rng.t -> int -> int array

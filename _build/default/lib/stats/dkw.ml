@@ -1,0 +1,11 @@
+let epsilon ~n ~confidence =
+  if n <= 0 then invalid_arg "Dkw.epsilon: n must be positive";
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Dkw.epsilon: confidence must be in (0, 1)";
+  sqrt (log (2. /. (1. -. confidence)) /. (2. *. float_of_int n))
+
+let samples_needed ~epsilon ~confidence =
+  if epsilon <= 0. then invalid_arg "Dkw.samples_needed: epsilon must be positive";
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Dkw.samples_needed: confidence must be in (0, 1)";
+  int_of_float (ceil (log (2. /. (1. -. confidence)) /. (2. *. epsilon *. epsilon)))

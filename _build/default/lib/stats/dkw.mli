@@ -1,0 +1,14 @@
+(** Dvoretzky–Kiefer–Wolfowitz bounds.
+
+    Used to size samples so that the empirical CDF is uniformly within a
+    target deviation of the true CDF with a target confidence — the
+    concentration step underlying the reproducibility analysis of rQuantile
+    (§4.2). *)
+
+(** [epsilon ~n ~confidence] is the uniform CDF deviation guaranteed with
+    probability [confidence] by [n] samples:
+    [sqrt (ln (2 / (1 - confidence)) / (2 n))]. *)
+val epsilon : n:int -> confidence:float -> float
+
+(** [samples_needed ~epsilon ~confidence] inverts {!epsilon}. *)
+val samples_needed : epsilon:float -> confidence:float -> int

@@ -1,0 +1,71 @@
+type t = { sorted : int array }
+
+let of_samples xs =
+  if Array.length xs = 0 then invalid_arg "Empirical.of_samples: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  { sorted }
+
+let size t = Array.length t.sorted
+let min_value t = t.sorted.(0)
+let max_value t = t.sorted.(size t - 1)
+
+(* Index of the first element > x (upper bound), by binary search. *)
+let upper_bound a x =
+  let rec go lo hi = if lo >= hi then lo else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) <= x then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length a)
+
+(* Index of the first element >= x (lower bound). *)
+let lower_bound a x =
+  let rec go lo hi = if lo >= hi then lo else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) < x then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length a)
+
+let cdf t x = float_of_int (upper_bound t.sorted x) /. float_of_int (size t)
+let cdf_strict t x = float_of_int (lower_bound t.sorted x) /. float_of_int (size t)
+let mass t x = cdf t x -. cdf_strict t x
+
+let quantile t q =
+  let n = size t in
+  let q = Lk_util.Float_utils.clamp ~lo:(1. /. float_of_int n) ~hi:1. q in
+  (* Smallest x with cdf >= q: rank ceil(q * n), 1-based. *)
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  t.sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let crossing t ~grid:(count, nth) q =
+  (* Binary search over the monotone grid for the first point whose cdf
+     reaches q. *)
+  if count <= 0 then None
+  else if cdf t (nth (count - 1)) < q then None
+  else
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf t (nth mid) >= q then go lo mid else go (mid + 1) hi
+    in
+    Some (nth (go 0 (count - 1)))
+
+let distinct t =
+  let n = size t in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let v = t.sorted.(i) in
+      let j = upper_bound t.sorted v in
+      go j ((v, j - i) :: acc)
+  in
+  go 0 []
+
+let heavy_points t ~threshold =
+  let n = float_of_int (size t) in
+  List.filter_map
+    (fun (v, c) ->
+      let m = float_of_int c /. n in
+      if m >= threshold then Some (v, m) else None)
+    (distinct t)

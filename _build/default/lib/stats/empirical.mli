@@ -1,0 +1,47 @@
+(** Empirical distribution over a finite sample of a well-ordered domain.
+
+    Backed by a sorted array, it supports the CDF / quantile queries that the
+    reproducible-median machinery (§4.2 of the paper) is built on.  The
+    element type is [int] because rMedian operates on a finite domain
+    [X = [0, 2^d)] of fixed-point-encoded values (see
+    {!Lk_repro.Domain}). *)
+
+type t
+
+(** [of_samples xs] builds the empirical distribution of [xs] (copied and
+    sorted); [xs] must be non-empty. *)
+val of_samples : int array -> t
+
+(** Number of sample points. *)
+val size : t -> int
+
+(** Smallest / largest sample value. *)
+val min_value : t -> int
+
+val max_value : t -> int
+
+(** [cdf t x] is the empirical probability [P(X <= x)]. *)
+val cdf : t -> int -> float
+
+(** [cdf_strict t x] is [P(X < x)]. *)
+val cdf_strict : t -> int -> float
+
+(** [mass t x] is the empirical probability [P(X = x)]. *)
+val mass : t -> int -> float
+
+(** [quantile t q] is the empirical [q]-quantile: the smallest sample value
+    [x] with [cdf t x >= q].  [q] outside [(0, 1]] is clamped. *)
+val quantile : t -> float -> int
+
+(** [crossing t ~grid_of q] is the smallest value [x] in the image of
+    [grid_of] (a monotone enumeration [k -> x_k] given as [(count, nth)])
+    with [cdf t x >= q], or [None] if no grid point reaches [q]. *)
+val crossing : t -> grid:int * (int -> int) -> float -> int option
+
+(** [heavy_points t ~threshold] lists the distinct sample values whose
+    empirical mass is at least [threshold], with their masses, in
+    increasing value order. *)
+val heavy_points : t -> threshold:float -> (int * float) list
+
+(** [distinct t] enumerates distinct values with their counts, increasing. *)
+val distinct : t -> (int * int) list

@@ -1,0 +1,33 @@
+type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let add t x =
+  let bins = Array.length t.counts in
+  let raw = int_of_float (float_of_int bins *. (x -. t.lo) /. (t.hi -. t.lo)) in
+  let i = max 0 (min (bins - 1) raw) in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let total t = t.total
+let counts t = Array.copy t.counts
+
+let frequencies t =
+  let n = float_of_int (max 1 t.total) in
+  Array.map (fun c -> float_of_int c /. n) t.counts
+
+let chi_square t expected =
+  if Array.length expected <> Array.length t.counts then
+    invalid_arg "Histogram.chi_square: dimension mismatch";
+  let n = float_of_int t.total in
+  let stat = ref 0. in
+  Array.iteri
+    (fun i e ->
+      let exp_count = e *. n in
+      if exp_count > 0. then
+        stat := !stat +. (((float_of_int t.counts.(i) -. exp_count) ** 2.) /. exp_count))
+    expected;
+  !stat

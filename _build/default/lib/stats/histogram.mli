@@ -1,0 +1,24 @@
+(** Fixed-width histograms, used for χ²-style distribution checks in tests
+    and for rendering distributions in the experiment runner. *)
+
+type t
+
+(** [create ~lo ~hi ~bins] covers [[lo, hi)] with [bins] equal cells;
+    out-of-range observations are clamped into the edge cells. *)
+val create : lo:float -> hi:float -> bins:int -> t
+
+(** Record one observation. *)
+val add : t -> float -> unit
+
+(** Total observations recorded. *)
+val total : t -> int
+
+(** Raw counts per bin. *)
+val counts : t -> int array
+
+(** Empirical frequency per bin. *)
+val frequencies : t -> float array
+
+(** [chi_square t expected] is the χ² statistic of the counts against the
+    [expected] frequencies (which must sum to ~1 and match the bin count). *)
+val chi_square : t -> float array -> float

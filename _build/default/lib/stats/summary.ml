@@ -1,0 +1,17 @@
+type t = { n : int; mean : float; stddev : float; min : float; max : float; ci95 : float }
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.of_array: empty sample";
+  let mean = Lk_util.Float_utils.mean xs in
+  let var =
+    if n < 2 then 0.
+    else
+      Lk_util.Float_utils.sum_by (fun x -> (x -. mean) ** 2.) xs /. float_of_int (n - 1)
+  in
+  let stddev = sqrt var in
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
+  { n; mean; stddev; min = lo; max = hi; ci95 = 1.96 *. stddev /. sqrt (float_of_int n) }
+
+let to_string t = Printf.sprintf "%.4f ± %.4f (n=%d)" t.mean t.ci95 t.n

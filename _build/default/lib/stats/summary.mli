@@ -1,0 +1,16 @@
+(** Summary statistics over a sample of floats. *)
+
+type t = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  ci95 : float;  (** half-width of the normal-approximation 95% CI on the mean *)
+}
+
+(** [of_array xs] computes all fields in one pass; [xs] must be non-empty. *)
+val of_array : float array -> t
+
+(** [to_string t] renders as ["mean ± ci95 (n)"]. *)
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/util/float_utils.ml: Array Float

@@ -1,0 +1,1 @@
+lib/util/log_setup.mli: Logs

@@ -1,0 +1,1 @@
+lib/util/rng.ml: Array Char Hashtbl Int64 List Stdlib String

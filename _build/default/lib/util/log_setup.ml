@@ -1,0 +1,5 @@
+let src = Logs.Src.create "lca-knapsack" ~doc:"LCA-for-Knapsack reproduction"
+
+let init ?(level = Some Logs.Warning) () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level

@@ -1,0 +1,9 @@
+(** One-line [Logs] initialisation shared by executables. *)
+
+(** [init ?level ()] installs an [Fmt]-based reporter on stderr.  The default
+    level is [Logs.Warning]; pass [~level:(Some Logs.Info)] for chattier
+    experiment runs. *)
+val init : ?level:Logs.level option -> unit -> unit
+
+(** Project-wide log source. *)
+val src : Logs.src

@@ -1,0 +1,42 @@
+type t = { title : string; headers : string list; mutable rows : string list list }
+
+let create ~title headers = { title; headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Tbl.add_row: cell count does not match headers";
+  t.rows <- cells :: t.rows
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 4) x = Printf.sprintf "%.*f" decimals x
+let cell_pct x = Printf.sprintf "%.2f%%" (100. *. x)
+let cell_bool b = if b then "yes" else "no"
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buf = Buffer.create 1024 in
+  let line ch =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) ch)) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let row cells =
+    List.iter2
+      (fun w c -> Buffer.add_string buf (Printf.sprintf "| %-*s " w c))
+      widths cells;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf (Printf.sprintf "== %s ==\n" t.title);
+  line '-';
+  row t.headers;
+  line '=';
+  List.iter row rows;
+  line '-';
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,27 @@
+(** Minimal ASCII table rendering for experiment output.
+
+    Every experiment in [bin/experiments.ml] prints its results through this
+    module so that the rows recorded in EXPERIMENTS.md can be regenerated
+    verbatim. *)
+
+type t
+
+(** [create ~title headers] starts a table with the given column headers. *)
+val create : title:string -> string list -> t
+
+(** [add_row t cells] appends a row; the number of cells must match the
+    number of headers. *)
+val add_row : t -> string list -> unit
+
+(** Convenience cell formatters. *)
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+val cell_pct : float -> string
+val cell_bool : bool -> string
+
+(** [render t] produces the full table as a string. *)
+val render : t -> string
+
+(** [print t] renders to stdout. *)
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Float List Lk_knapsack Lk_util

@@ -1,0 +1,1 @@
+lib/workloads/io.ml: Buffer Fun List Lk_knapsack Printf String

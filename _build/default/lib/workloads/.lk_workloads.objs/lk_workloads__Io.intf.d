@@ -1,0 +1,1 @@
+lib/workloads/io.mli: Lk_knapsack

@@ -1,0 +1,123 @@
+module Rng = Lk_util.Rng
+module Item = Lk_knapsack.Item
+module Instance = Lk_knapsack.Instance
+
+type family =
+  | Uniform
+  | Weakly_correlated
+  | Strongly_correlated
+  | Inverse_correlated
+  | Subset_sum
+  | Heavy_tail
+  | Few_large
+  | Garbage_mix
+  | Flat_adversarial
+  | Lumpy
+
+let all_families =
+  [
+    Uniform;
+    Weakly_correlated;
+    Strongly_correlated;
+    Inverse_correlated;
+    Subset_sum;
+    Heavy_tail;
+    Few_large;
+    Garbage_mix;
+    Flat_adversarial;
+    Lumpy;
+  ]
+
+let name = function
+  | Uniform -> "uniform"
+  | Weakly_correlated -> "weak-corr"
+  | Strongly_correlated -> "strong-corr"
+  | Inverse_correlated -> "inverse-corr"
+  | Subset_sum -> "subset-sum"
+  | Heavy_tail -> "heavy-tail"
+  | Few_large -> "few-large"
+  | Garbage_mix -> "garbage-mix"
+  | Flat_adversarial -> "flat-adv"
+  | Lumpy -> "lumpy"
+
+let of_name s = List.find_opt (fun f -> name f = s) all_families
+
+let items family rng n =
+  match family with
+  | Uniform ->
+      Array.init n (fun _ ->
+          Item.make ~profit:(Rng.uniform rng 1. 100.) ~weight:(Rng.uniform rng 1. 100.))
+  | Weakly_correlated ->
+      Array.init n (fun _ ->
+          let w = Rng.uniform rng 1. 100. in
+          let p = Float.max 0.1 (w +. Rng.uniform rng (-10.) 10.) in
+          Item.make ~profit:p ~weight:w)
+  | Strongly_correlated ->
+      Array.init n (fun _ ->
+          let w = Rng.uniform rng 1. 100. in
+          Item.make ~profit:(w +. 10.) ~weight:w)
+  | Inverse_correlated ->
+      Array.init n (fun _ ->
+          let p = Rng.uniform rng 1. 100. in
+          Item.make ~profit:p ~weight:(p +. 10.))
+  | Subset_sum ->
+      Array.init n (fun _ ->
+          let w = Rng.uniform rng 1. 100. in
+          Item.make ~profit:w ~weight:w)
+  | Heavy_tail ->
+      Array.init n (fun _ ->
+          Item.make
+            ~profit:(Float.min 1e6 (Rng.pareto rng ~alpha:1.2 ~xmin:1.))
+            ~weight:(Rng.uniform rng 1. 100.))
+  | Few_large ->
+      let large = min 20 (max 1 (n / 50)) in
+      Array.init n (fun i ->
+          if i < large then
+            Item.make ~profit:(Rng.uniform rng 50. 100.) ~weight:(Rng.uniform rng 10. 60.)
+          else
+            let p = Rng.uniform rng 0.01 0.5 in
+            (* efficiency spread around 0.05..5 *)
+            Item.make ~profit:p ~weight:(p /. Rng.uniform rng 0.05 5.))
+  | Garbage_mix ->
+      Array.init n (fun i ->
+          match i mod 3 with
+          | 0 ->
+              (* garbage: tiny profit, very low efficiency *)
+              let p = Rng.uniform rng 0.001 0.05 in
+              Item.make ~profit:p ~weight:(p *. Rng.uniform rng 1000. 10_000.)
+          | 1 ->
+              (* small but efficient *)
+              let p = Rng.uniform rng 0.01 0.5 in
+              Item.make ~profit:p ~weight:(p /. Rng.uniform rng 1. 10.)
+          | _ ->
+              if i < 30 then
+                Item.make ~profit:(Rng.uniform rng 40. 120.) ~weight:(Rng.uniform rng 5. 80.)
+              else
+                let p = Rng.uniform rng 0.05 1.0 in
+                Item.make ~profit:p ~weight:(p /. Rng.uniform rng 0.5 2.))
+  | Flat_adversarial ->
+      (* Equal profits, efficiencies forming a near-continuous geometric
+         spectrum: every efficiency quantile sits in a flat stretch. *)
+      Array.init n (fun i ->
+          let eff = 0.01 *. (1.001 ** float_of_int i) *. (1. +. (0.0001 *. Rng.float rng)) in
+          let p = 1. in
+          Item.make ~profit:p ~weight:(p /. eff))
+  | Lumpy ->
+      (* Eight jumbo items, each ~3-10% of the total small weight, with
+         efficiencies scattered around the greedy cut: no statistic of the
+         family predicts whether a given instance's jumbos sit above or
+         below the threshold. *)
+      let jumbos = min 8 (max 1 (n / 4)) in
+      let small_weight_estimate = 50.5 *. float_of_int (n - jumbos) in
+      Array.init n (fun i ->
+          if i < jumbos then
+            let w = Rng.uniform rng 0.03 0.1 *. small_weight_estimate in
+            Item.make ~profit:(w *. Rng.uniform rng 0.5 3.) ~weight:w
+          else
+            Item.make ~profit:(Rng.uniform rng 1. 100.) ~weight:(Rng.uniform rng 1. 100.))
+
+let generate ?(capacity_fraction = 0.4) family rng ~n =
+  if n <= 0 then invalid_arg "Gen.generate: n must be positive";
+  let its = items family rng n in
+  let total_weight = Lk_util.Float_utils.sum_by (fun (it : Item.t) -> it.weight) its in
+  Instance.make its ~capacity:(capacity_fraction *. total_weight)

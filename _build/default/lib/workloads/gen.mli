@@ -1,0 +1,41 @@
+(** Synthetic Knapsack instance families.
+
+    The paper has no experimental workloads, so the evaluation uses the
+    classical generator families from the knapsack literature (Pisinger's
+    uncorrelated / correlated / subset-sum classes) plus families designed
+    to exercise the paper's specific structure: instances dominated by a few
+    large-profit items (the LCA's sweet spot: L(I) is recovered by sampling),
+    instances with substantial garbage mass, and a "flat" family whose
+    efficiency distribution is adversarial for quantile reproducibility. *)
+
+type family =
+  | Uniform  (** independent p, w ~ U(1, 100) *)
+  | Weakly_correlated  (** p = w ± U(0, 10) *)
+  | Strongly_correlated  (** p = w + 10 *)
+  | Inverse_correlated  (** w = p + 10 *)
+  | Subset_sum  (** p = w *)
+  | Heavy_tail  (** Pareto(1.2) profits: few items dominate total profit *)
+  | Few_large
+      (** ~20 high-profit items plus a long tail of small efficient items *)
+  | Garbage_mix
+      (** a mix of large, small-but-efficient, and garbage items mirroring
+          the paper's L/S/G partition *)
+  | Flat_adversarial
+      (** near-continuous efficiency spectrum with equal tiny profits:
+          stress test for reproducible quantiles *)
+  | Lumpy
+      (** a handful of jumbo items each holding a non-vanishing share of
+          the total weight and profit: the family where distributional
+          knowledge alone fails (experiment E11) because the jumbo items'
+          identities and efficiencies do not concentrate *)
+
+val all_families : family list
+val name : family -> string
+val of_name : string -> family option
+
+(** [generate ?capacity_fraction family rng ~n] draws an instance with [n]
+    items; the capacity is [capacity_fraction] (default 0.4) of the total
+    weight.  All profits are strictly positive (the weighted-sampling model
+    needs positive total profit). *)
+val generate :
+  ?capacity_fraction:float -> family -> Lk_util.Rng.t -> n:int -> Lk_knapsack.Instance.t

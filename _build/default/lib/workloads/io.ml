@@ -1,0 +1,45 @@
+module Instance = Lk_knapsack.Instance
+module Item = Lk_knapsack.Item
+
+let to_string instance =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "# knapsack instance: %d items\n%.17g\n" (Instance.size instance)
+       (Instance.capacity instance));
+  for i = 0 to Instance.size instance - 1 do
+    let it = Instance.item instance i in
+    Buffer.add_string buf (Printf.sprintf "%.17g %.17g\n" it.Item.profit it.Item.weight)
+  done;
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let data =
+    List.mapi (fun i l -> (i + 1, String.trim l)) lines
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  in
+  match data with
+  | [] -> failwith "Io.of_string: empty instance"
+  | (lno, cap_line) :: items ->
+      let capacity =
+        try float_of_string cap_line
+        with _ -> failwith (Printf.sprintf "Io.of_string: line %d: bad capacity %S" lno cap_line)
+      in
+      let parse (lno, line) =
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ p; w ] -> (
+            try (float_of_string p, float_of_string w)
+            with _ -> failwith (Printf.sprintf "Io.of_string: line %d: bad item %S" lno line))
+        | _ -> failwith (Printf.sprintf "Io.of_string: line %d: expected 'profit weight'" lno)
+      in
+      Instance.of_pairs (List.map parse items) ~capacity
+
+let write path instance =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string instance))
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,17 @@
+(** Plain-text instance files.
+
+    Format: optional [#]-comment lines; the first data line is the
+    capacity; every further data line is ["<profit> <weight>"].  This is the
+    format [bin/lcakp_cli.exe] consumes and [experiments gen] emits. *)
+
+(** [write path inst] writes the instance (plus a size comment). *)
+val write : string -> Lk_knapsack.Instance.t -> unit
+
+(** [read path] parses an instance file.  Raises [Failure] with a
+    line-numbered message on malformed input. *)
+val read : string -> Lk_knapsack.Instance.t
+
+(** In-memory variants (for tests and piping). *)
+val to_string : Lk_knapsack.Instance.t -> string
+
+val of_string : string -> Lk_knapsack.Instance.t

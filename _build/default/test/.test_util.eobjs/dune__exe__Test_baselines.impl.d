@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Lazy Lk_baselines Lk_knapsack Lk_lca Lk_lcakp Lk_oracle Lk_util Lk_workloads

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Int64 List Lk_baselines Lk_knapsack Lk_lca Lk_lcakp Lk_oracle Lk_repro Lk_util Lk_workloads Option Printf

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Int64 Lk_ext Lk_knapsack Lk_lca Lk_lcakp Lk_oracle Lk_repro Lk_stats Lk_util Lk_workloads

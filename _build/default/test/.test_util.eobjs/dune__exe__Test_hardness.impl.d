@@ -1,0 +1,1 @@
+test/test_hardness.ml: Alcotest Fun List Lk_hardness Lk_knapsack Lk_oracle Lk_util

@@ -1,0 +1,1 @@
+test/test_knapsack.ml: Alcotest Array Float List Lk_knapsack Lk_util Printf QCheck QCheck_alcotest

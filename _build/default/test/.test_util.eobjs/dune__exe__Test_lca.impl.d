@@ -1,0 +1,1 @@
+test/test_lca.ml: Alcotest Lk_knapsack Lk_lca Lk_util

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Lk_knapsack Lk_oracle Lk_util Printf

@@ -1,0 +1,1 @@
+test/test_reproducible.ml: Alcotest Array Float Int64 List Lk_repro Lk_stats Lk_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gen List Lk_stats Lk_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Filename Float Fun List Lk_knapsack Lk_util Lk_workloads QCheck QCheck_alcotest String Sys

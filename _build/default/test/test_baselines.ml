@@ -1,0 +1,85 @@
+module Rng = Lk_util.Rng
+module Access = Lk_oracle.Access
+module Counters = Lk_oracle.Counters
+module Solution = Lk_knapsack.Solution
+module Instance = Lk_knapsack.Instance
+module Greedy = Lk_knapsack.Greedy
+module Lca = Lk_lca.Lca
+module Consistency = Lk_lca.Consistency
+module Baselines = Lk_baselines.Baselines
+module Params = Lk_lcakp.Params
+module Gen = Lk_workloads.Gen
+
+let access_of seed n = Access.of_instance (Gen.generate Gen.Few_large (Rng.create seed) ~n)
+
+let test_trivial () =
+  let access = access_of 1L 100 in
+  let lca = Baselines.trivial access in
+  let run = lca.Lca.fresh_run (Rng.create 1L) in
+  for i = 0 to 99 do
+    if run.Lca.answers i then Alcotest.failf "trivial answered yes at %d" i
+  done;
+  Alcotest.(check bool) "empty solution" true (Solution.equal Solution.empty (Lazy.force run.Lca.solution));
+  Alcotest.(check int) "free" 0 run.Lca.samples_used
+
+let test_full_read_matches_greedy () =
+  let access = access_of 2L 200 in
+  let lca = Baselines.full_read access in
+  let run = lca.Lca.fresh_run (Rng.create 1L) in
+  let expected = Greedy.half_approx (Access.normalized access) in
+  Alcotest.(check bool) "solution = greedy half" true
+    (Solution.equal expected (Lazy.force run.Lca.solution));
+  Alcotest.(check int) "linear cost" 200 run.Lca.samples_used;
+  for i = 0 to 199 do
+    if run.Lca.answers i <> Solution.mem i expected then Alcotest.failf "mismatch at %d" i
+  done
+
+let test_full_read_charges_oracle () =
+  let access = access_of 3L 50 in
+  let counters = Access.counters access in
+  Counters.reset counters;
+  let lca = Baselines.full_read access in
+  ignore (lca.Lca.fresh_run (Rng.create 1L));
+  Alcotest.(check int) "n index queries" 50 (Counters.index_queries counters)
+
+let test_full_read_perfectly_consistent () =
+  let access = access_of 4L 120 in
+  let lca = Baselines.full_read access in
+  let r = Consistency.measure lca ~probes:[| 0; 5; 77 |] ~runs:5 ~fresh:(Rng.create 9L) in
+  Alcotest.(check (float 1e-9)) "deterministic" 1. r.Consistency.solution_match
+
+let test_lca_kp_wrapper_roundtrip () =
+  let access = access_of 5L 800 in
+  let params = Params.practical ~sample_scale:0.05 0.2 in
+  let lca = Baselines.lca_kp params access ~seed:33L in
+  Alcotest.(check string) "name" "lca-kp" lca.Lca.name;
+  let run = lca.Lca.fresh_run (Rng.create 77L) in
+  let sol = Lazy.force run.Lca.solution in
+  Alcotest.(check bool) "feasible" true (Solution.is_feasible (Access.normalized access) sol);
+  for i = 0 to 799 do
+    if run.Lca.answers i <> Solution.mem i sol then Alcotest.failf "wrapper mismatch at %d" i
+  done;
+  Alcotest.(check bool) "samples counted" true (run.Lca.samples_used > 0)
+
+let test_naive_wrapper_uses_naive_quantiles () =
+  let access = access_of 6L 800 in
+  let params = Params.practical ~sample_scale:0.05 0.2 in
+  let lca = Baselines.lca_kp_naive params access ~seed:33L in
+  Alcotest.(check string) "name" "lca-kp-naive" lca.Lca.name;
+  let run = lca.Lca.fresh_run (Rng.create 78L) in
+  Alcotest.(check bool) "feasible" true
+    (Solution.is_feasible (Access.normalized access) (Lazy.force run.Lca.solution))
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "baselines",
+        [
+          Alcotest.test_case "trivial" `Quick test_trivial;
+          Alcotest.test_case "full-read = greedy half" `Quick test_full_read_matches_greedy;
+          Alcotest.test_case "full-read charges oracle" `Quick test_full_read_charges_oracle;
+          Alcotest.test_case "full-read consistent" `Quick test_full_read_perfectly_consistent;
+          Alcotest.test_case "lca-kp wrapper" `Quick test_lca_kp_wrapper_roundtrip;
+          Alcotest.test_case "naive wrapper" `Quick test_naive_wrapper_uses_naive_quantiles;
+        ] );
+    ]

@@ -1,0 +1,350 @@
+(* Extended coverage: degenerate instances, the tie-break ablation, deep
+   log* recursion, padding/native quantile agreement, and normalization
+   invariants. *)
+
+module Rng = Lk_util.Rng
+module Item = Lk_knapsack.Item
+module Instance = Lk_knapsack.Instance
+module Solution = Lk_knapsack.Solution
+module Access = Lk_oracle.Access
+module Params = Lk_lcakp.Params
+module Lca_kp = Lk_lcakp.Lca_kp
+module Domain = Lk_repro.Domain
+module Rmedian = Lk_repro.Rmedian
+module Rquantile = Lk_repro.Rquantile
+module Gen = Lk_workloads.Gen
+
+(* ---------- Instance.normalize ---------- *)
+
+let test_normalize_both () =
+  let inst = Instance.of_pairs [ (10., 4.); (30., 16.) ] ~capacity:5. in
+  let n = Instance.normalize inst in
+  Alcotest.(check (float 1e-12)) "profits sum 1" 1. (Instance.total_profit n);
+  Alcotest.(check (float 1e-12)) "weights sum 1" 1. (Instance.total_weight n);
+  Alcotest.(check (float 1e-12)) "capacity scaled" 0.25 (Instance.capacity n);
+  (* efficiencies rescale uniformly: greedy order is invariant *)
+  let order_before = Lk_knapsack.Greedy.efficiency_order inst in
+  let order_after = Lk_knapsack.Greedy.efficiency_order n in
+  Alcotest.(check (array int)) "order invariant" order_before order_after
+
+let test_normalize_rejects_degenerate () =
+  let inst = Instance.of_pairs [ (0., 1.) ] ~capacity:1. in
+  Alcotest.check_raises "zero profit" (Invalid_argument "Instance.normalize: zero total profit")
+    (fun () -> ignore (Instance.normalize inst));
+  let inst = Instance.of_pairs [ (1., 0.) ] ~capacity:1. in
+  Alcotest.check_raises "zero weight" (Invalid_argument "Instance.normalize: zero total weight")
+    (fun () -> ignore (Instance.normalize inst))
+
+(* ---------- Degenerate instances through the full LCA ---------- *)
+
+let run_lca ?(epsilon = 0.2) ?(scale = 0.01) inst =
+  let access = Access.of_instance inst in
+  let params = Params.practical ~sample_scale:scale epsilon in
+  let algo = Lca_kp.create params access ~seed:3L in
+  let state = Lca_kp.run algo ~fresh:(Rng.create 8L) in
+  let sol = Lca_kp.induced_solution algo state in
+  (Access.normalized access, sol)
+
+let test_lca_single_item () =
+  let inst = Instance.of_pairs [ (5., 2.) ] ~capacity:3. in
+  let norm, sol = run_lca inst in
+  Alcotest.(check bool) "feasible" true (Solution.is_feasible norm sol);
+  (* The lone item is large (profit 1 after normalization) and fits. *)
+  Alcotest.(check (list int)) "takes the item" [ 0 ] (Solution.indices sol)
+
+let test_lca_single_item_too_heavy () =
+  let inst = Instance.of_pairs [ (5., 2.) ] ~capacity:1. in
+  let norm, sol = run_lca inst in
+  Alcotest.(check bool) "feasible" true (Solution.is_feasible norm sol);
+  Alcotest.(check int) "empty" 0 (Solution.cardinal sol)
+
+let test_lca_all_garbage () =
+  (* Every item has abysmal efficiency: the LCA should answer (close to)
+     nothing and stay feasible. *)
+  let items =
+    Array.init 300 (fun _ -> Item.make ~profit:1. ~weight:1_000_000.)
+  in
+  let inst = Instance.make items ~capacity:10. in
+  let norm, sol = run_lca inst in
+  Alcotest.(check bool) "feasible" true (Solution.is_feasible norm sol)
+
+let test_lca_zero_capacity () =
+  let inst = Instance.of_pairs [ (1., 1.); (2., 3.); (4., 2.) ] ~capacity:0. in
+  let norm, sol = run_lca inst in
+  Alcotest.(check bool) "feasible" true (Solution.is_feasible norm sol);
+  Alcotest.(check int) "empty at K=0" 0 (Solution.cardinal sol)
+
+let test_lca_everything_fits () =
+  let inst = Instance.of_pairs [ (1., 1.); (2., 1.); (3., 1.) ] ~capacity:100. in
+  let norm, sol = run_lca inst in
+  Alcotest.(check bool) "feasible" true (Solution.is_feasible norm sol);
+  (* All three items are large after normalization and all fit. *)
+  Alcotest.(check (list int)) "takes everything" [ 0; 1; 2 ] (Solution.indices sol)
+
+(* ---------- Tie-breaking ablation (subset-sum) ---------- *)
+
+let subset_sum_instance n =
+  let rng = Rng.create 11L in
+  let items =
+    Array.init n (fun _ ->
+        let w = Rng.uniform rng 1. 100. in
+        Item.make ~profit:w ~weight:w)
+  in
+  Instance.make items
+    ~capacity:(0.4 *. Lk_util.Float_utils.sum_by (fun (it : Item.t) -> it.Item.weight) items)
+
+let test_subset_sum_paper_verbatim_degenerates () =
+  (* tie_bits = 0 reproduces the paper's rule: on an all-tied instance the
+     small-item cutoff can never separate items, so C collapses to ∅.  This
+     is the documented failure mode that motivates the tie-break
+     extension. *)
+  let inst = subset_sum_instance 800 in
+  let access = Access.of_instance inst in
+  let params = Params.practical ~tie_bits:0 ~sample_scale:0.0005 0.05 in
+  let algo = Lca_kp.create params access ~seed:3L in
+  let state = Lca_kp.run algo ~fresh:(Rng.create 8L) in
+  let sol = Lca_kp.induced_solution algo state in
+  Alcotest.(check int) "verbatim rule selects nothing" 0 (Solution.cardinal sol)
+
+let test_subset_sum_tie_break_recovers () =
+  let inst = subset_sum_instance 800 in
+  let access = Access.of_instance inst in
+  let norm = Access.normalized access in
+  let params = Params.practical ~sample_scale:0.0005 0.05 in
+  let algo = Lca_kp.create params access ~seed:3L in
+  let state = Lca_kp.run algo ~fresh:(Rng.create 8L) in
+  let sol = Lca_kp.induced_solution algo state in
+  Alcotest.(check bool) "feasible" true (Solution.is_feasible norm sol);
+  let opt = Lk_knapsack.Reference.estimate norm in
+  let ratio = Solution.profit norm sol /. opt.Lk_knapsack.Reference.lower in
+  if ratio < 0.4 then Alcotest.failf "tie-break ratio too low: %.3f" ratio
+
+(* ---------- Deep log* recursion ---------- *)
+
+let test_rmedian_62bit_domain () =
+  (* The widest supported domain: recursion still terminates, output is an
+     accurate median of a geometric spread over 62-bit values. *)
+  let params = { Rmedian.tau = 0.1; rho = 0.3; bits = 62 } in
+  let rng = Rng.create 21L in
+  let sample () =
+    Array.init 20_000 (fun _ ->
+        (* half the mass at a point, half spread geometrically *)
+        if Rng.bool rng then 1 lsl 40
+        else 1 lsl Rng.int_range rng 20 61)
+  in
+  for run = 0 to 4 do
+    let m = Rmedian.median params ~shared:(Rng.create (Int64.of_int run)) (sample ()) in
+    (* The point mass at 2^40 holds ranks [0.25, 0.75]: any valid
+       approximate median is near it. *)
+    if not (m >= 1 lsl 38 && m <= 1 lsl 42) then
+      Alcotest.failf "median %d far from the 2^40 atom" m
+  done
+
+let test_recursion_depth_exposed () =
+  Alcotest.(check int) "48-bit (LCA default refined domain)" 2 (Rmedian.recursion_depth 48)
+
+(* ---------- Padding vs native quantile ---------- *)
+
+let test_padding_tracks_native () =
+  (* Both are tau-approximate for the same p, hence land within 2*tau of
+     each other in CDF mass. *)
+  let params = { Rquantile.tau = 0.1; rho = 0.25; beta = 0.1; bits = 20 } in
+  let rng = Rng.create 31L in
+  let n = Rquantile.sample_size params in
+  for run = 0 to 4 do
+    let sample = Array.init n (fun _ -> Rng.int_bound rng (1 lsl 20)) in
+    let emp = Lk_stats.Empirical.of_samples sample in
+    let shared () = Rng.create (Int64.of_int (50 + run)) in
+    let v1 = Rquantile.run params ~shared:(shared ()) ~p:0.3 sample in
+    let v2 = Rquantile.run_via_padding params ~shared:(shared ()) ~p:0.3 sample in
+    let c1 = Lk_stats.Empirical.cdf emp v1 and c2 = Lk_stats.Empirical.cdf emp v2 in
+    if abs_float (c1 -. c2) > 4. *. params.Rquantile.tau then
+      Alcotest.failf "run %d: native %.3f vs padded %.3f in CDF mass" run c1 c2
+  done
+
+(* ---------- Faithful preset end-to-end ---------- *)
+
+let test_faithful_preset_runs () =
+  let inst = Gen.generate Gen.Few_large (Rng.create 41L) ~n:1500 in
+  let access = Access.of_instance inst in
+  let params = Params.faithful ~sample_scale:0.05 0.45 in
+  let algo = Lca_kp.create params access ~seed:6L in
+  let state = Lca_kp.run algo ~fresh:(Rng.create 12L) in
+  let sol = Lca_kp.induced_solution algo state in
+  Alcotest.(check bool) "feasible" true
+    (Solution.is_feasible (Access.normalized access) sol)
+
+(* ---------- Consistency of query across parallel instances ---------- *)
+
+let test_parallel_instances_agree () =
+  (* Definition 2.3: two copies of the LCA with the same seed but separate
+     fresh randomness answer a probe identically when their runs land on
+     the same tilde — measured here with a generous budget where agreement
+     should be the norm. *)
+  let inst = Gen.generate Gen.Few_large (Rng.create 51L) ~n:3000 in
+  let access = Access.of_instance inst in
+  let params = Params.practical ~sample_scale:0.5 0.25 in
+  let algo = Lca_kp.create params access ~seed:99L in
+  let agree = ref 0 in
+  let trials = 10 in
+  for t = 1 to trials do
+    let a = Lca_kp.query algo ~fresh:(Rng.create (Int64.of_int t)) 7 in
+    let b = Lca_kp.query algo ~fresh:(Rng.create (Int64.of_int (1000 + t))) 7 in
+    if a = b then incr agree
+  done;
+  if !agree < 9 then Alcotest.failf "parallel agreement too low: %d/%d" !agree trials
+
+(* ---------- Average-case oblivious LCA (E11 extension) ---------- *)
+
+let test_oblivious_consistent_and_free () =
+  let inst = Gen.generate Gen.Uniform (Rng.create 71L) ~n:3000 in
+  let access = Access.of_instance inst in
+  let model = { Lk_ext.Oblivious.family = Gen.Uniform; n = 3000; capacity_fraction = 0.4 } in
+  let obl = Lk_ext.Oblivious.create model access ~seed:9L in
+  let c = Lk_oracle.Access.counters access in
+  Lk_oracle.Counters.reset c;
+  let a1 = Lk_ext.Oblivious.query obl 7 in
+  let a2 = Lk_ext.Oblivious.query obl 7 in
+  Alcotest.(check bool) "deterministic" a1 a2;
+  Alcotest.(check int) "no weighted samples" 0 (Lk_oracle.Counters.weighted_samples c);
+  Alcotest.(check int) "two point queries" 2 (Lk_oracle.Counters.index_queries c)
+
+let test_oblivious_feasible_on_uniform () =
+  for trial = 0 to 4 do
+    let inst = Gen.generate Gen.Uniform (Rng.create (Int64.of_int (80 + trial))) ~n:3000 in
+    let access = Access.of_instance inst in
+    let norm = Access.normalized access in
+    let model = { Lk_ext.Oblivious.family = Gen.Uniform; n = 3000; capacity_fraction = 0.4 } in
+    let obl = Lk_ext.Oblivious.create ~margin:0.05 model access ~seed:9L in
+    let sol = Lk_ext.Oblivious.induced_solution obl in
+    if not (Solution.is_feasible norm sol) then Alcotest.failf "trial %d infeasible" trial;
+    let opt = (Lk_knapsack.Reference.estimate norm).Lk_knapsack.Reference.lower in
+    let ratio = Solution.profit norm sol /. opt in
+    if ratio < 0.8 then Alcotest.failf "trial %d ratio %.3f too low" trial ratio
+  done
+
+let test_oblivious_answers_match_solution () =
+  let inst = Gen.generate Gen.Garbage_mix (Rng.create 72L) ~n:2000 in
+  let access = Access.of_instance inst in
+  let model = { Lk_ext.Oblivious.family = Gen.Garbage_mix; n = 2000; capacity_fraction = 0.4 } in
+  let obl = Lk_ext.Oblivious.create model access ~seed:9L in
+  let sol = Lk_ext.Oblivious.induced_solution obl in
+  for i = 0 to 1999 do
+    if Lk_ext.Oblivious.query obl i <> Solution.mem i sol then
+      Alcotest.failf "mismatch at %d" i
+  done
+
+let test_oblivious_lca_wrapper () =
+  let inst = Gen.generate Gen.Uniform (Rng.create 73L) ~n:1000 in
+  let access = Access.of_instance inst in
+  let model = { Lk_ext.Oblivious.family = Gen.Uniform; n = 1000; capacity_fraction = 0.4 } in
+  let obl = Lk_ext.Oblivious.create model access ~seed:9L in
+  let lca = Lk_ext.Oblivious.to_lca obl in
+  let r = Lk_lca.Consistency.measure lca ~probes:[| 0; 13; 500 |] ~runs:4 ~fresh:(Rng.create 2L) in
+  Alcotest.(check (float 1e-9)) "perfectly consistent" 1. r.Lk_lca.Consistency.solution_match;
+  Alcotest.(check (float 1e-9)) "zero samples" 0. r.Lk_lca.Consistency.mean_samples_per_run
+
+let test_oblivious_margin_validation () =
+  let inst = Gen.generate Gen.Uniform (Rng.create 74L) ~n:100 in
+  let access = Access.of_instance inst in
+  let model = { Lk_ext.Oblivious.family = Gen.Uniform; n = 100; capacity_fraction = 0.4 } in
+  Alcotest.check_raises "bad margin" (Invalid_argument "Oblivious.create: margin in [0, 1)")
+    (fun () -> ignore (Lk_ext.Oblivious.create ~margin:1.5 model access ~seed:9L))
+
+let test_lumpy_family_shape () =
+  let inst = Gen.generate Gen.Lumpy (Rng.create 75L) ~n:4000 in
+  let norm = Instance.normalize inst in
+  (* the 8 jumbos hold a non-vanishing share of total weight *)
+  let jumbo_weight = ref 0. in
+  for i = 0 to 7 do
+    jumbo_weight := !jumbo_weight +. (Instance.item norm i).Item.weight
+  done;
+  Alcotest.(check bool) "jumbos are heavy" true (!jumbo_weight > 0.15)
+
+(* ---------- Hybrid LCA ---------- *)
+
+let test_hybrid_feasible_on_lumpy () =
+  for trial = 0 to 4 do
+    let inst = Gen.generate Gen.Lumpy (Rng.create (Int64.of_int (90 + trial))) ~n:4000 in
+    let access = Access.of_instance inst in
+    let norm = Access.normalized access in
+    let model = { Lk_ext.Oblivious.family = Gen.Lumpy; n = 4000; capacity_fraction = 0.4 } in
+    let h =
+      Lk_ext.Hybrid.create ~margin:0.05 model access ~seed:9L
+        ~fresh:(Rng.create (Int64.of_int (500 + trial)))
+    in
+    let sol = Lk_ext.Hybrid.induced_solution h in
+    if not (Solution.is_feasible norm sol) then Alcotest.failf "trial %d infeasible" trial;
+    let opt = (Lk_knapsack.Reference.estimate norm).Lk_knapsack.Reference.lower in
+    if Solution.profit norm sol /. opt < 0.6 then
+      Alcotest.failf "trial %d ratio too low" trial
+  done
+
+let test_hybrid_answers_match_solution () =
+  let inst = Gen.generate Gen.Lumpy (Rng.create 91L) ~n:2000 in
+  let access = Access.of_instance inst in
+  let model = { Lk_ext.Oblivious.family = Gen.Lumpy; n = 2000; capacity_fraction = 0.4 } in
+  let h = Lk_ext.Hybrid.create model access ~seed:9L ~fresh:(Rng.create 501L) in
+  let sol = Lk_ext.Hybrid.induced_solution h in
+  for i = 0 to 1999 do
+    if Lk_ext.Hybrid.query h i <> Solution.mem i sol then Alcotest.failf "mismatch at %d" i
+  done;
+  Alcotest.(check bool) "paid a small sample" true
+    (Lk_ext.Hybrid.samples_used h > 0 && Lk_ext.Hybrid.samples_used h < 100_000)
+
+let test_hybrid_validation () =
+  let inst = Gen.generate Gen.Uniform (Rng.create 92L) ~n:100 in
+  let access = Access.of_instance inst in
+  let model = { Lk_ext.Oblivious.family = Gen.Uniform; n = 100; capacity_fraction = 0.4 } in
+  Alcotest.check_raises "bad cutoff" (Invalid_argument "Hybrid.create: jumbo_cutoff in (0, 1)")
+    (fun () ->
+      ignore (Lk_ext.Hybrid.create ~jumbo_cutoff:2. model access ~seed:9L ~fresh:(Rng.create 1L)))
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "normalize",
+        [
+          Alcotest.test_case "both sums" `Quick test_normalize_both;
+          Alcotest.test_case "degenerate rejected" `Quick test_normalize_rejects_degenerate;
+        ] );
+      ( "degenerate-instances",
+        [
+          Alcotest.test_case "single item" `Quick test_lca_single_item;
+          Alcotest.test_case "single too heavy" `Quick test_lca_single_item_too_heavy;
+          Alcotest.test_case "all garbage" `Quick test_lca_all_garbage;
+          Alcotest.test_case "zero capacity" `Quick test_lca_zero_capacity;
+          Alcotest.test_case "everything fits" `Quick test_lca_everything_fits;
+        ] );
+      ( "tie-breaking",
+        [
+          Alcotest.test_case "paper-verbatim degenerates" `Quick test_subset_sum_paper_verbatim_degenerates;
+          Alcotest.test_case "tie-break recovers" `Quick test_subset_sum_tie_break_recovers;
+        ] );
+      ( "deep-recursion",
+        [
+          Alcotest.test_case "62-bit domain" `Quick test_rmedian_62bit_domain;
+          Alcotest.test_case "depth for 48-bit" `Quick test_recursion_depth_exposed;
+        ] );
+      ( "padding",
+        [ Alcotest.test_case "padding tracks native" `Quick test_padding_tracks_native ] );
+      ( "faithful",
+        [ Alcotest.test_case "faithful preset runs" `Quick test_faithful_preset_runs ] );
+      ( "parallel",
+        [ Alcotest.test_case "instances agree" `Quick test_parallel_instances_agree ] );
+      ( "hybrid",
+        [
+          Alcotest.test_case "feasible on lumpy" `Quick test_hybrid_feasible_on_lumpy;
+          Alcotest.test_case "answers match solution" `Quick test_hybrid_answers_match_solution;
+          Alcotest.test_case "validation" `Quick test_hybrid_validation;
+        ] );
+      ( "oblivious-avg-case",
+        [
+          Alcotest.test_case "consistent and sample-free" `Quick test_oblivious_consistent_and_free;
+          Alcotest.test_case "feasible on uniform" `Quick test_oblivious_feasible_on_uniform;
+          Alcotest.test_case "answers match solution" `Quick test_oblivious_answers_match_solution;
+          Alcotest.test_case "lca wrapper" `Quick test_oblivious_lca_wrapper;
+          Alcotest.test_case "margin validation" `Quick test_oblivious_margin_validation;
+          Alcotest.test_case "lumpy family shape" `Quick test_lumpy_family_shape;
+        ] );
+    ]

@@ -1,0 +1,240 @@
+module Rng = Lk_util.Rng
+module Or_game = Lk_hardness.Or_game
+module Reduction = Lk_hardness.Reduction
+module Maximal_hard = Lk_hardness.Maximal_hard
+module Counters = Lk_oracle.Counters
+module Query_oracle = Lk_oracle.Query_oracle
+module Item = Lk_knapsack.Item
+module Solution = Lk_knapsack.Solution
+module Branch_bound = Lk_knapsack.Branch_bound
+
+(* ---------- OR game ---------- *)
+
+let test_or_values () =
+  Alcotest.(check bool) "zeros" false (Or_game.or_value (Or_game.zeros 8));
+  Alcotest.(check bool) "one-hot" true (Or_game.or_value (Or_game.one_hot 8 ~hot:3))
+
+let test_or_oracle_counts () =
+  let o = Or_game.oracle (Or_game.one_hot 10 ~hot:4) in
+  Alcotest.(check bool) "read 4" true (Or_game.read o 4);
+  Alcotest.(check bool) "read 5" false (Or_game.read o 5);
+  Alcotest.(check int) "two reads" 2 (Or_game.reads_used o)
+
+let test_or_draw_balanced () =
+  let rng = Rng.create 1L in
+  let ones = ref 0 in
+  for _ = 1 to 2000 do
+    if Or_game.or_value (Or_game.draw rng 16) then incr ones
+  done;
+  Alcotest.(check bool) "about half" true (!ones > 850 && !ones < 1150)
+
+let test_or_best_strategy_full_budget () =
+  let rng = Rng.create 2L in
+  for _ = 1 to 50 do
+    let input = Or_game.draw rng 32 in
+    let o = Or_game.oracle input in
+    Alcotest.(check bool) "full budget always right" (Or_game.or_value input)
+      (Or_game.best_strategy o ~budget:32 ~rng)
+  done
+
+let test_or_analytic_matches_measured () =
+  let rng = Rng.create 3L in
+  List.iter
+    (fun budget ->
+      let measured = Or_game.measured_success ~n:64 ~budget ~trials:4000 rng in
+      let analytic = Or_game.analytic_success ~n:64 ~budget in
+      if abs_float (measured -. analytic) > 0.03 then
+        Alcotest.failf "budget %d: measured %.3f vs analytic %.3f" budget measured analytic)
+    [ 0; 8; 21; 48; 64 ]
+
+let test_or_two_thirds_wall () =
+  (* Theorem backbone: 2/3 success needs a linear budget. *)
+  let n = 90 in
+  let wall = Or_game.budget_for_two_thirds ~n in
+  Alcotest.(check int) "wall = n/3" 30 wall;
+  Alcotest.(check bool) "at wall" true (Or_game.analytic_success ~n ~budget:wall >= 2. /. 3. -. 1e-9);
+  Alcotest.(check bool) "below wall fails" true
+    (Or_game.analytic_success ~n ~budget:(n / 10) < 2. /. 3.)
+
+(* ---------- Reductions (Theorems 3.2 / 3.3, Figure 1) ---------- *)
+
+let test_reduction_instance_shape () =
+  let input = Or_game.one_hot 7 ~hot:2 in
+  let t = Reduction.make Reduction.Exact input in
+  Alcotest.(check int) "n items" 8 (Reduction.items t);
+  Alcotest.(check (float 0.)) "capacity 1" 1. (Reduction.capacity t);
+  let item2 = Reduction.query_item t 2 in
+  Alcotest.(check (float 0.)) "hot item profit" 1. item2.Item.profit;
+  Alcotest.(check (float 0.)) "weight 1" 1. item2.Item.weight;
+  let last = Reduction.query_item t 7 in
+  Alcotest.(check (float 0.)) "last profit 1/2" 0.5 last.Item.profit
+
+let test_reduction_locality () =
+  (* Each knapsack item query costs at most one bit read; the last item is
+     free — the core of the reduction's query preservation. *)
+  let input = Or_game.zeros 20 in
+  let t = Reduction.make Reduction.Exact input in
+  ignore (Reduction.query_item t 20);
+  Alcotest.(check int) "last item free" 0 (Reduction.bit_reads t);
+  ignore (Reduction.query_item t 3);
+  ignore (Reduction.query_item t 9);
+  Alcotest.(check int) "two reads" 2 (Reduction.bit_reads t)
+
+let test_reduction_ground_truth_exhaustive () =
+  (* Over the inputs of the hard distribution (all-zeros and every one-hot),
+     the simulated instance's optimum matches the claim: OPT = 1 iff OR(x),
+     else 1/2; and the last item is in the optimal solution iff OR(x) = 0.
+     Verified against branch & bound on the materialized instance. *)
+  let check input =
+    let t = Reduction.make Reduction.Exact input in
+    let inst = Reduction.materialize t in
+    let opt, _ = Branch_bound.solve inst in
+    Alcotest.(check (float 1e-9)) "opt matches" (Reduction.opt_value t) opt;
+    Alcotest.(check bool) "last-in-solution iff OR=0" (not (Or_game.or_value input))
+      (Reduction.last_item_in_solution t)
+  in
+  check (Or_game.zeros 6);
+  for hot = 0 to 5 do
+    check (Or_game.one_hot 6 ~hot)
+  done
+
+let test_reduction_approx_kind () =
+  let input = Or_game.zeros 5 in
+  let t = Reduction.make (Reduction.Approximate { alpha = 0.5; beta = 0.2 }) input in
+  let last = Reduction.query_item t 5 in
+  Alcotest.(check (float 1e-12)) "beta profit" 0.2 last.Item.profit;
+  Alcotest.(check (float 1e-12)) "opt = beta when OR=0" 0.2 (Reduction.opt_value t);
+  Alcotest.check_raises "beta >= alpha rejected"
+    (Invalid_argument "Reduction.make: beta must be in (0, alpha)") (fun () ->
+      ignore (Reduction.make (Reduction.Approximate { alpha = 0.3; beta = 0.3 }) input))
+
+let test_reduction_as_query_oracle () =
+  let t = Reduction.make Reduction.Exact (Or_game.one_hot 9 ~hot:0) in
+  let counters = Counters.create () in
+  let oracle = Reduction.as_query_oracle t counters in
+  Alcotest.(check int) "size" 10 (Query_oracle.size oracle);
+  let it = Query_oracle.item oracle 0 in
+  Alcotest.(check (float 0.)) "reveals bit" 1. it.Item.profit;
+  Alcotest.(check int) "counted" 1 (Counters.index_queries counters)
+
+let test_reduction_budget_curve () =
+  let rng = Rng.create 7L in
+  let n = 64 in
+  let low = Reduction.measured_success Reduction.Exact ~n ~budget:4 ~trials:3000 rng in
+  let high = Reduction.measured_success Reduction.Exact ~n ~budget:60 ~trials:3000 rng in
+  Alcotest.(check bool) "low budget near 1/2" true (low < 0.62);
+  Alcotest.(check bool) "high budget near 1" true (high > 0.9);
+  let approx =
+    Reduction.measured_success
+      (Reduction.Approximate { alpha = 0.9; beta = 0.45 })
+      ~n ~budget:60 ~trials:2000 rng
+  in
+  Alcotest.(check bool) "approx kind behaves alike" true (approx > 0.9)
+
+(* ---------- Maximal-feasible hardness (Theorem 3.4) ---------- *)
+
+let test_maximal_weights () =
+  let rng = Rng.create 8L in
+  for _ = 1 to 50 do
+    let h = Maximal_hard.draw rng ~n:30 in
+    let i, j = Maximal_hard.special_pair h in
+    Alcotest.(check bool) "distinct pair" true (i <> j);
+    Alcotest.(check (float 0.)) "w_i" 0.75 (Maximal_hard.weight h i);
+    let wj = Maximal_hard.weight h j in
+    Alcotest.(check bool) "w_j in {1/4, 3/4}" true (wj = 0.25 || wj = 0.75);
+    Alcotest.(check bool) "light flag matches" true (Maximal_hard.j_is_light h = (wj = 0.25));
+    let zeros = ref 0 in
+    for k = 0 to 29 do
+      if Maximal_hard.weight h k = 0. then incr zeros
+    done;
+    Alcotest.(check int) "others zero" 28 !zeros
+  done
+
+let test_maximal_solution_structure () =
+  let rng = Rng.create 9L in
+  let rec find_case light =
+    let h = Maximal_hard.draw rng ~n:12 in
+    if Maximal_hard.j_is_light h = light then h else find_case light
+  in
+  (* Light case: the unique maximal solution is everything. *)
+  let h = find_case true in
+  let inst = Maximal_hard.instance h in
+  let all = Solution.of_indices (List.init 12 Fun.id) in
+  Alcotest.(check bool) "all items maximal" true (Solution.is_maximal inst all);
+  (* Heavy case: all-items is infeasible; dropping either special item is
+     maximal. *)
+  let h = find_case false in
+  let inst = Maximal_hard.instance h in
+  let i, j = Maximal_hard.special_pair h in
+  let all = Solution.of_indices (List.init 12 Fun.id) in
+  Alcotest.(check bool) "all items infeasible" false (Solution.is_feasible inst all);
+  let without k = Solution.of_indices (List.filter (fun x -> x <> k) (List.init 12 Fun.id)) in
+  Alcotest.(check bool) "without i maximal" true (Solution.is_maximal inst (without i));
+  Alcotest.(check bool) "without j maximal" true (Solution.is_maximal inst (without j))
+
+let test_maximal_canonical_budget () =
+  let rng = Rng.create 10L in
+  let h = Maximal_hard.draw rng ~n:100 in
+  let i, _ = Maximal_hard.special_pair h in
+  let _, spent = Maximal_hard.canonical_answer h ~seed:1L ~budget:20 i in
+  Alcotest.(check bool) "spends within budget" true (spent <= 20);
+  (* Weight-0 queries answer yes for one query. *)
+  let k = ref 0 in
+  while Maximal_hard.weight h !k <> 0. do incr k done;
+  let ans, spent = Maximal_hard.canonical_answer h ~seed:1L ~budget:20 !k in
+  Alcotest.(check bool) "zero-weight is yes" true ans;
+  Alcotest.(check int) "single query" 1 spent
+
+let test_maximal_forced_yes () =
+  (* Lemma 3.5: an algorithm that fails to locate the partner heavy item
+     must answer yes — the canonical algorithm implements the forced move.
+     With budget 1 there are no probes, so a heavy query is always yes. *)
+  let rng = Rng.create 12L in
+  for _ = 1 to 30 do
+    let h = Maximal_hard.draw rng ~n:50 in
+    let i, _ = Maximal_hard.special_pair h in
+    let ans, spent = Maximal_hard.canonical_answer h ~seed:3L ~budget:1 i in
+    Alcotest.(check bool) "forced yes" true ans;
+    Alcotest.(check int) "one query" 1 spent
+  done
+
+let test_maximal_play_curve () =
+  let rng = Rng.create 11L in
+  let n = 110 in
+  let low = Maximal_hard.play ~n ~budget:(Maximal_hard.threshold_budget ~n) ~trials:3000 rng in
+  let high = Maximal_hard.play ~n ~budget:n ~trials:3000 rng in
+  Alcotest.(check bool) "at n/11 budget, below 4/5" true (low < 0.8);
+  Alcotest.(check bool) "full budget succeeds" true (high > 0.97);
+  let analytic = Maximal_hard.analytic_success ~n ~budget:(Maximal_hard.threshold_budget ~n) in
+  Alcotest.(check bool) "measured tracks analytic" true (abs_float (low -. analytic) < 0.05)
+
+let () =
+  Alcotest.run "hardness"
+    [
+      ( "or-game",
+        [
+          Alcotest.test_case "values" `Quick test_or_values;
+          Alcotest.test_case "oracle counting" `Quick test_or_oracle_counts;
+          Alcotest.test_case "hard distribution balanced" `Quick test_or_draw_balanced;
+          Alcotest.test_case "full budget strategy" `Quick test_or_best_strategy_full_budget;
+          Alcotest.test_case "analytic vs measured" `Quick test_or_analytic_matches_measured;
+          Alcotest.test_case "two-thirds wall" `Quick test_or_two_thirds_wall;
+        ] );
+      ( "reductions",
+        [
+          Alcotest.test_case "instance shape (Fig 1)" `Quick test_reduction_instance_shape;
+          Alcotest.test_case "locality" `Quick test_reduction_locality;
+          Alcotest.test_case "ground truth vs solver" `Quick test_reduction_ground_truth_exhaustive;
+          Alcotest.test_case "approximate kind" `Quick test_reduction_approx_kind;
+          Alcotest.test_case "as query oracle" `Quick test_reduction_as_query_oracle;
+          Alcotest.test_case "budget curve" `Quick test_reduction_budget_curve;
+        ] );
+      ( "maximal-hard",
+        [
+          Alcotest.test_case "weights" `Quick test_maximal_weights;
+          Alcotest.test_case "maximal structure" `Quick test_maximal_solution_structure;
+          Alcotest.test_case "canonical budget" `Quick test_maximal_canonical_budget;
+          Alcotest.test_case "forced yes (Lemma 3.5)" `Quick test_maximal_forced_yes;
+          Alcotest.test_case "play curve (Thm 3.4)" `Quick test_maximal_play_curve;
+        ] );
+    ]

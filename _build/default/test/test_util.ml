@@ -1,0 +1,213 @@
+module Rng = Lk_util.Rng
+module Fu = Lk_util.Float_utils
+module Tbl = Lk_util.Tbl
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7L in
+  let child = Rng.split parent in
+  let xs = Array.init 64 (fun _ -> Rng.int64 child) in
+  let ys = Array.init 64 (fun _ -> Rng.int64 parent) in
+  let collisions = Array.to_list xs |> List.filter (fun x -> Array.mem x ys) in
+  Alcotest.(check int) "no collisions" 0 (List.length collisions)
+
+let test_rng_of_path_stable () =
+  let a = Rng.of_path 9L [ "rquantile"; "k=3" ] and b = Rng.of_path 9L [ "rquantile"; "k=3" ] in
+  Alcotest.(check int64) "same derived stream" (Rng.int64 a) (Rng.int64 b);
+  let c = Rng.of_path 9L [ "rquantile"; "k=4" ] in
+  Alcotest.(check bool) "different labels differ" true (Rng.int64 a <> Rng.int64 c)
+
+let test_rng_float_range () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_int_bound () =
+  let rng = Rng.create 4L in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 7000 do
+    let v = Rng.int_bound rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7);
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 800 && c < 1200))
+    counts
+
+let test_rng_int_bound_invalid () =
+  let rng = Rng.create 5L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int_bound: bound must be positive")
+    (fun () -> ignore (Rng.int_bound rng 0))
+
+let test_sample_distinct () =
+  let rng = Rng.create 6L in
+  for _ = 1 to 50 do
+    let picks = Rng.sample_distinct rng ~n:100 ~k:30 in
+    Alcotest.(check int) "k picks" 30 (List.length picks);
+    Alcotest.(check int) "distinct" 30 (List.length (List.sort_uniq compare picks));
+    List.iter (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 100)) picks
+  done;
+  let all = Rng.sample_distinct rng ~n:10 ~k:10 in
+  Alcotest.(check (list int)) "k=n is everything" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.sort compare all)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 8L in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_bernoulli_bias () =
+  let rng = Rng.create 10L in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  Alcotest.(check bool) "close to 0.3" true (!hits > 2700 && !hits < 3300)
+
+let test_pareto_support () =
+  let rng = Rng.create 11L in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "at least xmin" true (Rng.pareto rng ~alpha:1.5 ~xmin:2. >= 2.)
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 12L in
+  for _ = 1 to 500 do
+    let v = Rng.int_range rng (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done;
+  Alcotest.(check int) "singleton range" 3 (Rng.int_range rng 3 3);
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_range: empty range")
+    (fun () -> ignore (Rng.int_range rng 2 1))
+
+let test_rng_uniform_support () =
+  let rng = Rng.create 13L in
+  for _ = 1 to 500 do
+    let v = Rng.uniform rng 2. 5. in
+    Alcotest.(check bool) "in [2,5)" true (v >= 2. && v < 5.)
+  done
+
+let test_rng_exponential () =
+  let rng = Rng.create 14L in
+  let xs = Array.init 20_000 (fun _ -> Rng.exponential rng 2.) in
+  Array.iter (fun x -> if x < 0. then Alcotest.fail "negative exponential") xs;
+  let mean = Fu.mean xs in
+  Alcotest.(check bool) "mean ~ 1/rate" true (abs_float (mean -. 0.5) < 0.02);
+  Alcotest.check_raises "bad rate" (Invalid_argument "Rng.exponential: rate must be positive")
+    (fun () -> ignore (Rng.exponential rng 0.))
+
+let test_rng_of_path_order_sensitive () =
+  let a = Rng.of_path 1L [ "x"; "y" ] and b = Rng.of_path 1L [ "y"; "x" ] in
+  Alcotest.(check bool) "order matters" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 5L in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  let va = Rng.int64 a in
+  let vb = Rng.int64 b in
+  Alcotest.(check int64) "copy continues identically" va vb;
+  ignore (Rng.int64 a);
+  (* advancing a does not advance b *)
+  Alcotest.(check int64) "independent state" (Rng.int64 a) (Rng.int64 (Rng.copy a))
+
+let test_kahan_sum () =
+  let xs = Array.make 10_000 0.1 in
+  Alcotest.(check (float 1e-9)) "compensated" 1000. (Fu.sum xs)
+
+let test_iterated_log () =
+  Alcotest.(check int) "log* 1" 0 (Fu.iterated_log2 1.);
+  Alcotest.(check int) "log* 2" 1 (Fu.iterated_log2 2.);
+  Alcotest.(check int) "log* 4" 2 (Fu.iterated_log2 4.);
+  Alcotest.(check int) "log* 16" 3 (Fu.iterated_log2 16.);
+  Alcotest.(check int) "log* 65536" 4 (Fu.iterated_log2 65536.);
+  Alcotest.(check int) "log* 2^32" 5 (Fu.iterated_log2 (2. ** 32.))
+
+let test_clamp () =
+  Alcotest.(check (float 0.)) "below" 1. (Fu.clamp ~lo:1. ~hi:2. 0.);
+  Alcotest.(check (float 0.)) "above" 2. (Fu.clamp ~lo:1. ~hi:2. 3.);
+  Alcotest.(check (float 0.)) "inside" 1.5 (Fu.clamp ~lo:1. ~hi:2. 1.5)
+
+let test_approx_eq () =
+  Alcotest.(check bool) "close" true (Fu.approx_eq 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "far" false (Fu.approx_eq 1.0 1.1);
+  Alcotest.(check bool) "relative for large" true (Fu.approx_eq ~eps:1e-9 1e12 (1e12 +. 1.))
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_tbl_render () =
+  let t = Tbl.create ~title:"demo" [ "a"; "bb" ] in
+  Tbl.add_row t [ "1"; "2" ];
+  Tbl.add_row t [ "333"; "4" ];
+  let s = Tbl.render t in
+  Alcotest.(check bool) "title present" true (contains ~needle:"== demo ==" s);
+  Alcotest.(check bool) "cell present" true (contains ~needle:"333" s);
+  Alcotest.(check bool) "header present" true (contains ~needle:"bb" s)
+
+let test_tbl_mismatch () =
+  let t = Tbl.create ~title:"demo" [ "a"; "b" ] in
+  Alcotest.check_raises "bad row" (Invalid_argument "Tbl.add_row: cell count does not match headers")
+    (fun () -> Tbl.add_row t [ "only-one" ])
+
+let test_tbl_cells () =
+  Alcotest.(check string) "pct" "12.50%" (Tbl.cell_pct 0.125);
+  Alcotest.(check string) "float" "1.2346" (Tbl.cell_float 1.23456);
+  Alcotest.(check string) "bool" "yes" (Tbl.cell_bool true)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "of_path stable" `Quick test_rng_of_path_stable;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "int_bound uniform" `Quick test_rng_int_bound;
+          Alcotest.test_case "int_bound invalid" `Quick test_rng_int_bound_invalid;
+          Alcotest.test_case "sample_distinct" `Quick test_sample_distinct;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "bernoulli bias" `Quick test_bernoulli_bias;
+          Alcotest.test_case "pareto support" `Quick test_pareto_support;
+          Alcotest.test_case "int_range" `Quick test_rng_int_range;
+          Alcotest.test_case "uniform support" `Quick test_rng_uniform_support;
+          Alcotest.test_case "exponential" `Quick test_rng_exponential;
+          Alcotest.test_case "of_path order" `Quick test_rng_of_path_order_sensitive;
+          Alcotest.test_case "copy independence" `Quick test_rng_copy_independent;
+        ] );
+      ( "float_utils",
+        [
+          Alcotest.test_case "kahan sum" `Quick test_kahan_sum;
+          Alcotest.test_case "iterated log" `Quick test_iterated_log;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "approx_eq" `Quick test_approx_eq;
+        ] );
+      ( "tbl",
+        [
+          Alcotest.test_case "render" `Quick test_tbl_render;
+          Alcotest.test_case "row mismatch" `Quick test_tbl_mismatch;
+          Alcotest.test_case "cell formatting" `Quick test_tbl_cells;
+        ] );
+    ]

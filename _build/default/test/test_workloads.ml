@@ -1,0 +1,146 @@
+module Rng = Lk_util.Rng
+module Gen = Lk_workloads.Gen
+module Instance = Lk_knapsack.Instance
+module Item = Lk_knapsack.Item
+
+let test_family_roundtrip () =
+  List.iter
+    (fun f ->
+      match Gen.of_name (Gen.name f) with
+      | Some f' -> Alcotest.(check string) "roundtrip" (Gen.name f) (Gen.name f')
+      | None -> Alcotest.failf "family %s not found by name" (Gen.name f))
+    Gen.all_families
+
+let test_generate_shape () =
+  List.iter
+    (fun f ->
+      let inst = Gen.generate f (Rng.create 1L) ~n:500 in
+      Alcotest.(check int) (Gen.name f ^ " size") 500 (Instance.size inst);
+      Alcotest.(check bool) (Gen.name f ^ " capacity > 0") true (Instance.capacity inst > 0.);
+      for i = 0 to 499 do
+        let it = Instance.item inst i in
+        if not (it.Item.profit > 0.) then
+          Alcotest.failf "%s: non-positive profit at %d" (Gen.name f) i;
+        if not (it.Item.weight >= 0. && Float.is_finite it.Item.weight) then
+          Alcotest.failf "%s: bad weight at %d" (Gen.name f) i
+      done)
+    Gen.all_families
+
+let test_generate_deterministic () =
+  List.iter
+    (fun f ->
+      let a = Gen.generate f (Rng.create 9L) ~n:50 and b = Gen.generate f (Rng.create 9L) ~n:50 in
+      for i = 0 to 49 do
+        if not (Item.equal (Instance.item a i) (Instance.item b i)) then
+          Alcotest.failf "%s: not deterministic at %d" (Gen.name f) i
+      done)
+    Gen.all_families
+
+let test_capacity_fraction () =
+  let inst = Gen.generate ~capacity_fraction:0.25 Gen.Uniform (Rng.create 2L) ~n:200 in
+  Alcotest.(check (float 1e-6))
+    "capacity = fraction of total weight"
+    (0.25 *. Instance.total_weight inst)
+    (Instance.capacity inst)
+
+let test_invalid_n () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Gen.generate: n must be positive") (fun () ->
+      ignore (Gen.generate Gen.Uniform (Rng.create 1L) ~n:0))
+
+let test_few_large_structure () =
+  let inst = Gen.generate Gen.Few_large (Rng.create 3L) ~n:1000 in
+  let normalized = Instance.normalize_profits inst in
+  (* The top items should dominate: the 20 large items carry most profit. *)
+  let profits = Instance.profits normalized in
+  Array.sort (fun a b -> compare b a) profits;
+  let top20 = Lk_util.Float_utils.sum (Array.sub profits 0 20) in
+  Alcotest.(check bool) "top-20 dominate" true (top20 > 0.5)
+
+let test_flat_adversarial_spread () =
+  let inst = Gen.generate Gen.Flat_adversarial (Rng.create 4L) ~n:1000 in
+  let effs =
+    Array.init 1000 (fun i -> Item.efficiency (Instance.item inst i))
+  in
+  let distinct = Array.to_list effs |> List.sort_uniq compare |> List.length in
+  Alcotest.(check bool) "many distinct efficiencies" true (distinct > 900)
+
+(* ---------- Io ---------- *)
+
+let test_io_roundtrip () =
+  let inst = Gen.generate Gen.Uniform (Rng.create 5L) ~n:60 in
+  let text = Lk_workloads.Io.to_string inst in
+  let back = Lk_workloads.Io.of_string text in
+  Alcotest.(check int) "size" (Instance.size inst) (Instance.size back);
+  Alcotest.(check (float 1e-12)) "capacity" (Instance.capacity inst) (Instance.capacity back);
+  for i = 0 to Instance.size inst - 1 do
+    if not (Item.equal (Instance.item inst i) (Instance.item back i)) then
+      Alcotest.failf "item %d altered by roundtrip" i
+  done
+
+let test_io_comments_and_blanks () =
+  let inst = Lk_workloads.Io.of_string "# header\n\n10.5\n# item\n3 4\n  1 2  \n" in
+  Alcotest.(check int) "two items" 2 (Instance.size inst);
+  Alcotest.(check (float 0.)) "capacity" 10.5 (Instance.capacity inst)
+
+let test_io_errors () =
+  (try
+     ignore (Lk_workloads.Io.of_string "abc\n1 2\n");
+     Alcotest.fail "bad capacity accepted"
+   with Failure msg ->
+     Alcotest.(check bool) "mentions line" true (String.length msg > 0));
+  (try
+     ignore (Lk_workloads.Io.of_string "5\n1 2 3\n");
+     Alcotest.fail "bad item accepted"
+   with Failure _ -> ());
+  try
+    ignore (Lk_workloads.Io.of_string "# only comments\n");
+    Alcotest.fail "empty accepted"
+  with Failure _ -> ()
+
+let test_io_file_roundtrip () =
+  let inst = Gen.generate Gen.Subset_sum (Rng.create 6L) ~n:20 in
+  let path = Filename.temp_file "lcakp" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Lk_workloads.Io.write path inst;
+      let back = Lk_workloads.Io.read path in
+      Alcotest.(check int) "size" 20 (Instance.size back))
+
+let prop_io_roundtrip =
+  QCheck.Test.make ~name:"io roundtrip preserves instances" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 30) (pair (float_range 0.001 1000.) (float_range 0. 1000.)))
+        (float_range 0. 10_000.))
+    (fun (pairs, capacity) ->
+      let inst = Instance.of_pairs pairs ~capacity in
+      let back = Lk_workloads.Io.of_string (Lk_workloads.Io.to_string inst) in
+      Instance.size back = Instance.size inst
+      && Instance.capacity back = Instance.capacity inst
+      && List.for_all
+           (fun i -> Item.equal (Instance.item back i) (Instance.item inst i))
+           (List.init (Instance.size inst) Fun.id))
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "name roundtrip" `Quick test_family_roundtrip;
+          Alcotest.test_case "shape of instances" `Quick test_generate_shape;
+          Alcotest.test_case "determinism" `Quick test_generate_deterministic;
+          Alcotest.test_case "capacity fraction" `Quick test_capacity_fraction;
+          Alcotest.test_case "invalid n" `Quick test_invalid_n;
+          Alcotest.test_case "few-large structure" `Quick test_few_large_structure;
+          Alcotest.test_case "flat-adversarial spread" `Quick test_flat_adversarial_spread;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "comments and blanks" `Quick test_io_comments_and_blanks;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+          QCheck_alcotest.to_alcotest prop_io_roundtrip;
+        ] );
+    ]

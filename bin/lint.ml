@@ -1,0 +1,47 @@
+(* lk_analysis driver: lints the source tree for determinism and
+   oracle-discipline violations.  Exit status 0 = clean (warnings allowed),
+   1 = at least one error, 2 = bad invocation. *)
+
+let usage = "usage: lint [--root DIR] [--allow FILE] [--list-rules] [--quiet]"
+
+let () =
+  let root = ref "." and allow = ref None in
+  let quiet = ref false and list_rules = ref false in
+  let spec =
+    [ ("--root", Arg.Set_string root, "DIR repository root to lint (default .)");
+      ("--allow", Arg.String (fun f -> allow := Some f),
+       "FILE allowlist file (default ROOT/lint.allow)");
+      ("--list-rules", Arg.Set list_rules, " print rule ids and exit");
+      ("--quiet", Arg.Set quiet, " print errors only") ]
+  in
+  (try Arg.parse_argv Sys.argv spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage
+   with
+  | Arg.Bad msg ->
+      prerr_string msg;
+      exit 2
+  | Arg.Help msg ->
+      print_string msg;
+      exit 0);
+  if !list_rules then begin
+    List.iter
+      (fun (id, descr) -> Printf.printf "%-18s %s\n" id descr)
+      Lk_analysis.Engine.rules;
+    exit 0
+  end;
+  let files, findings =
+    Lk_analysis.Engine.run ?allow_file:!allow ~root:!root ()
+  in
+  let errors, warnings =
+    List.partition Lk_analysis.Finding.is_error findings
+  in
+  List.iter
+    (fun f -> print_endline (Lk_analysis.Finding.to_string f))
+    (if !quiet then errors else findings);
+  if errors <> [] then begin
+    Printf.printf "lint: %d error(s), %d warning(s) in %d file(s)\n"
+      (List.length errors) (List.length warnings) files;
+    exit 1
+  end
+  else if not !quiet then
+    Printf.printf "lint: OK (%d file(s), %d warning(s))\n" files
+      (List.length warnings)

@@ -1,0 +1,125 @@
+type entry = {
+  rule : string;
+  path : string;
+  line : int option;
+  justification : string;
+  source_line : int;
+  mutable used : bool;
+}
+
+type t = { file : string; entries : entry list; errors : Finding.t list }
+
+let empty = { file = "lint.allow"; entries = []; errors = [] }
+
+(* Entry syntax, one per line:
+     <rule-id> <path>[:<line>] # <justification>
+   Blank lines and lines starting with '#' are comments.  The justification
+   is mandatory: an exception nobody can explain is not vetted. *)
+let parse ?(file = "lint.allow") content =
+  let entries = ref [] and errors = ref [] in
+  let err ln msg =
+    errors :=
+      Finding.make ~rule:"allowlist" ~file ~line:ln ~col:1 msg :: !errors
+  in
+  let parse_target ln rule target justification =
+    let path, line =
+      match String.rindex_opt target ':' with
+      | Some i -> (
+          let tail = String.sub target (i + 1) (String.length target - i - 1) in
+          match int_of_string_opt tail with
+          | Some l when l > 0 -> (String.sub target 0 i, Some l)
+          | _ -> (target, None))
+      | None -> (target, None)
+    in
+    let justification = String.trim justification in
+    if justification = "" then
+      err ln
+        (Printf.sprintf
+           "entry '%s %s' has no justification comment; append '# why this \
+            site is exempt'"
+           rule target)
+    else
+      entries :=
+        { rule; path; line; justification; source_line = ln; used = false }
+        :: !entries
+  in
+  List.iteri
+    (fun i raw ->
+      let ln = i + 1 in
+      let body, comment =
+        match String.index_opt raw '#' with
+        | Some j ->
+            ( String.sub raw 0 j,
+              String.sub raw (j + 1) (String.length raw - j - 1) )
+        | None -> (raw, "")
+      in
+      let body = String.trim body in
+      if body <> "" then
+        match String.split_on_char ' ' body |> List.filter (( <> ) "") with
+        | [ rule; target ] -> parse_target ln rule target comment
+        | _ ->
+            err ln
+              (Printf.sprintf
+                 "malformed entry '%s'; expected '<rule-id> <path>[:<line>] \
+                  # justification'"
+                 body))
+    (String.split_on_char '\n' content);
+  { file; entries = List.rev !entries; errors = List.rev !errors }
+
+let load path =
+  if not (Sys.file_exists path) then { empty with file = path }
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let content = really_input_string ic len in
+    close_in ic;
+    parse ~file:path content
+  end
+
+let is_allowed t ~rule ~file ~line =
+  List.exists
+    (fun e ->
+      let hit =
+        e.rule = rule && e.path = file
+        && match e.line with None -> true | Some l -> l = line
+      in
+      if hit then e.used <- true;
+      hit)
+    t.entries
+
+let filter t findings =
+  List.filter
+    (fun (f : Finding.t) ->
+      not (is_allowed t ~rule:f.Finding.rule ~file:f.Finding.file ~line:f.Finding.line))
+    findings
+
+let stale t =
+  List.filter_map
+    (fun e ->
+      if e.used then None
+      else
+        Some
+          (Finding.make ~severity:Finding.Warning ~rule:"allowlist"
+             ~file:t.file ~line:e.source_line ~col:1
+             (Printf.sprintf
+                "stale entry: no '%s' finding at %s%s — remove it" e.rule
+                e.path
+                (match e.line with
+                | None -> ""
+                | Some l -> Printf.sprintf ":%d" l))))
+    t.entries
+
+let entries t = t.entries
+let errors t = t.errors
+
+let known_rule_warnings t ~known =
+  List.filter_map
+    (fun e ->
+      if List.mem e.rule known then None
+      else
+        Some
+          (Finding.make ~severity:Finding.Warning ~rule:"allowlist"
+             ~file:t.file ~line:e.source_line ~col:1
+             (Printf.sprintf "unknown rule id '%s' in entry for %s" e.rule
+                e.path)))
+    t.entries

@@ -1,0 +1,49 @@
+(** The vetted-exception file [lint.allow].
+
+    Syntax, one entry per line:
+    {v <rule-id> <path>[:<line>] # <justification> v}
+    Blank lines and lines whose first non-blank character is [#] are
+    comments.  The justification is mandatory — an entry without one is
+    itself reported as an [allowlist] error.  An entry without [:<line>]
+    exempts the whole file from the rule (robust against line drift); with
+    [:<line>] it exempts exactly that line. *)
+
+type entry = {
+  rule : string;
+  path : string;
+  line : int option;
+  justification : string;
+  source_line : int;  (** line of the entry inside the allowlist file *)
+  mutable used : bool;  (** set once a finding matched this entry *)
+}
+
+type t
+
+(** An allowlist with no entries (what {!load} returns for a missing file). *)
+val empty : t
+
+(** [parse ?file content] parses the text of an allowlist; malformed or
+    justification-less entries become [allowlist] errors in {!errors}. *)
+val parse : ?file:string -> string -> t
+
+(** [load path] reads and parses [path]; a missing file is an empty list. *)
+val load : string -> t
+
+(** [is_allowed t ~rule ~file ~line] checks (and marks used) a matching
+    entry. *)
+val is_allowed : t -> rule:string -> file:string -> line:int -> bool
+
+(** [filter t findings] drops findings covered by an entry, marking the
+    entries used. *)
+val filter : t -> Finding.t list -> Finding.t list
+
+(** [stale t] is a warning per entry never marked used — call after
+    {!filter}. *)
+val stale : t -> Finding.t list
+
+(** [known_rule_warnings t ~known] warns about entries naming unknown rule
+    ids. *)
+val known_rule_warnings : t -> known:string list -> Finding.t list
+
+val entries : t -> entry list
+val errors : t -> Finding.t list

@@ -1,0 +1,21 @@
+(** The lint driver: walks [root]'s [lib/] and [bin/] trees, runs every
+    rule in its scope, filters findings through the [lint.allow] list, and
+    returns the surviving findings sorted by location.
+
+    Rule scopes:
+    - [determinism]: every [.ml] under [lib/] and [bin/];
+    - [iteration-order], [float-equality]: every [.ml] under [lib/];
+    - [oracle-discipline]: [.ml] files in the layers above the oracle
+      (see {!Rule_oracle.restricted_dirs});
+    - [mli-coverage]: the [lib/] file listing;
+    - [layering]: every [lib/*/dune] file. *)
+
+(** Rule registry: [(id, one-line description)], including the pseudo-rule
+    ["allowlist"] under which allowlist problems are reported. *)
+val rules : (string * string) list
+
+(** [run ?allow_file ~root ()] lints the tree rooted at [root] (paths in
+    findings are relative to it).  [allow_file] defaults to
+    [root ^ "/lint.allow"]; a missing allowlist is simply empty.  Returns
+    [(files_checked, findings)]. *)
+val run : ?allow_file:string -> root:string -> unit -> int * Finding.t list

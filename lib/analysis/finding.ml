@@ -1,0 +1,31 @@
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  severity : severity;
+  message : string;
+}
+
+let make ?(severity = Error) ~rule ~file ~line ~col message =
+  { rule; file; line; col; severity; message }
+
+let severity_label = function Error -> "error" | Warning -> "warning"
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d: %s: %s: %s" t.file t.line t.col
+    (severity_label t.severity) t.rule t.message
+
+let compare_location a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c else compare a.rule b.rule
+
+let is_error t = t.severity = Error

@@ -1,0 +1,33 @@
+(** A single lint finding: a rule violation at a source location. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** rule id, e.g. ["determinism"] *)
+  file : string;  (** path relative to the repository root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  severity : severity;
+  message : string;
+}
+
+(** [make ~rule ~file ~line ~col msg] builds a finding ([severity] defaults
+    to [Error]). *)
+val make :
+  ?severity:severity ->
+  rule:string ->
+  file:string ->
+  line:int ->
+  col:int ->
+  string ->
+  t
+
+(** Renders as ["file:line:col: severity: rule-id: message"]. *)
+val to_string : t -> string
+
+val severity_label : severity -> string
+
+(** Orders findings by (file, line, col, rule) for stable reports. *)
+val compare_location : t -> t -> int
+
+val is_error : t -> bool

@@ -1,0 +1,48 @@
+let id = "determinism"
+
+(* Exact dotted names, or prefixes (trailing '.') covering a whole module.
+   [Stdlib.]-qualified spellings are caught by suffix matching below. *)
+let banned_prefixes = [ "Random." ]
+
+let banned_exact =
+  [ ("Random", "the Random module is ambient, unseeded state");
+    ("Sys.time", "wall-clock process time is not a function of the seed");
+    ("Unix.gettimeofday", "wall-clock time is not a function of the seed");
+    ("Unix.time", "wall-clock time is not a function of the seed");
+    ("Hashtbl.hash", "polymorphic hash is not a seeded randomness source") ]
+
+let strip_stdlib name =
+  match String.length name with
+  | l when l > 7 && String.sub name 0 7 = "Stdlib." -> String.sub name 7 (l - 7)
+  | _ -> name
+
+let hit name =
+  let name = strip_stdlib name in
+  match List.assoc_opt name banned_exact with
+  | Some why -> Some (name, why)
+  | None ->
+      if
+        List.exists
+          (fun p ->
+            String.length name > String.length p
+            && String.sub name 0 (String.length p) = p)
+          banned_prefixes
+      then Some (name, "the Random module is ambient, unseeded state")
+      else None
+
+let check ~file tokens =
+  Array.to_list tokens
+  |> List.filter_map (fun (t : Tokenizer.token) ->
+         match t.Tokenizer.kind with
+         | Tokenizer.Ident -> (
+             match hit t.Tokenizer.text with
+             | Some (name, why) ->
+                 Some
+                   (Finding.make ~rule:id ~file ~line:t.Tokenizer.line
+                      ~col:t.Tokenizer.col
+                      (Printf.sprintf
+                         "'%s' is banned (%s); derive all randomness from \
+                          the shared seed via Lk_util.Rng (of_path/split)"
+                         name why))
+             | None -> None)
+         | _ -> None)

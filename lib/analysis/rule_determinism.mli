@@ -1,0 +1,13 @@
+(** Rule [determinism]: every source of randomness or time must flow through
+    [Lk_util.Rng], the SplitMix64 generator derived from the shared
+    read-only seed [r] of Definition 2.2.
+
+    Flags [Random.*] (including [Random.self_init]), [Sys.time],
+    [Unix.gettimeofday], [Unix.time] and [Hashtbl.hash], also under a
+    [Stdlib.] prefix.  Names inside strings and comments are not flagged
+    (the tokenizer drops them). *)
+
+val id : string
+
+(** [check ~file tokens] scans one tokenized compilation unit. *)
+val check : file:string -> Tokenizer.token array -> Finding.t list

@@ -1,0 +1,69 @@
+let id = "float-equality"
+
+let comparison_ops = [ "="; "<>"; "=="; "!=" ]
+
+(* Tokens we walk back over when deciding whether an [=] is a comparison or
+   a binding: operands and things that look like the tail of one. *)
+let operandish (t : Tokenizer.token) =
+  match t.Tokenizer.kind with
+  | Tokenizer.Ident | Tokenizer.Int_lit | Tokenizer.Float_lit -> true
+  | _ -> false
+
+(* Context tokens under which a [<pattern> = <float>] is a binding, a record
+   field, or an optional-argument default — not a comparison. *)
+let binderish text =
+  List.mem text
+    [ "let"; "and"; "rec"; "{"; "("; ";"; ","; "|"; "?"; "~"; "with";
+      "method"; "val"; "mutable"; "external"; "}" ]
+
+(* Keywords that can only precede an expression: reaching one of these
+   means the [=] under inspection is a comparison. *)
+let comparisonish text =
+  List.mem text
+    [ "if"; "when"; "then"; "else"; "begin"; "in"; "do"; "done"; "while";
+      "match"; "try"; "not"; "&&"; "||"; "->" ]
+
+let float_operand tokens i =
+  let n = Array.length tokens in
+  let is_float j = j >= 0 && j < n && tokens.(j).Tokenizer.kind = Tokenizer.Float_lit in
+  let right =
+    is_float (i + 1)
+    || (i + 2 < n
+        && (let t = tokens.(i + 1) in
+            t.Tokenizer.kind = Tokenizer.Op
+            && (t.Tokenizer.text = "-" || t.Tokenizer.text = "+"))
+        && is_float (i + 2))
+  in
+  right || is_float (i - 1)
+
+let comparison_context tokens i =
+  let rec back j =
+    if j < 0 then false (* start of file: treat as binding-ish *)
+    else if binderish tokens.(j).Tokenizer.text then false
+    else if comparisonish tokens.(j).Tokenizer.text then true
+    else if operandish tokens.(j) then back (j - 1)
+    else true
+  in
+  back (i - 1)
+
+let check ~file tokens =
+  let out = ref [] in
+  Array.iteri
+    (fun i (t : Tokenizer.token) ->
+      if
+        t.Tokenizer.kind = Tokenizer.Op
+        && List.mem t.Tokenizer.text comparison_ops
+        && float_operand tokens i
+        && comparison_context tokens i
+      then
+        out :=
+          Finding.make ~rule:id ~file ~line:t.Tokenizer.line
+            ~col:t.Tokenizer.col
+            (Printf.sprintf
+               "'%s' compares against a float literal exactly; use \
+                Lk_util.Float_utils.approx_eq (or allowlist if the constant \
+                is exact by construction)"
+               t.Tokenizer.text)
+          :: !out)
+    tokens;
+  List.rev !out

@@ -1,0 +1,15 @@
+(** Rule [float-equality]: flags [=], [<>], [==] and [!=] where one operand
+    is a float *literal* — e.g. [if weight = 0.75 then ...].  Exact float
+    comparison is usually a rounding-sensitive bug; use
+    [Lk_util.Float_utils.approx_eq], or allowlist the site when the constant
+    is exact by construction (0., 1., dyadic rationals written into the
+    instance).
+
+    Binding forms ([let eps = 1e-9], record fields [{ tau = 0.25 }],
+    optional-argument defaults [?(scale = 1.)]) are recognized by a
+    token-context heuristic and not flagged; ordering comparisons
+    ([<=], [>=], [<], [>]) are never flagged. *)
+
+val id : string
+
+val check : file:string -> Tokenizer.token array -> Finding.t list

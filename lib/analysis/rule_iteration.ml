@@ -1,0 +1,58 @@
+let id = "iteration-order"
+
+let lookahead = 40
+
+let targets = [ "Hashtbl.fold"; "Hashtbl.iter" ]
+
+let is_target name =
+  let name =
+    match String.length name with
+    | l when l > 7 && String.sub name 0 7 = "Stdlib." ->
+        String.sub name 7 (l - 7)
+    | _ -> name
+  in
+  List.mem name targets
+
+(* Heuristic for "the result is immediately sorted": a sorting call within
+   the next few tokens.  [Lk_util.Det.sorted_bindings] is the canonical
+   wrapper and matches too. *)
+let sorted_soon tokens i =
+  let n = Array.length tokens in
+  let rec go j =
+    if j >= n || j > i + lookahead then false
+    else
+      let t = tokens.(j) in
+      if
+        t.Tokenizer.kind = Tokenizer.Ident
+        && (let txt = t.Tokenizer.text in
+            let has_sub sub =
+              let ls = String.length sub and lt = String.length txt in
+              let rec at k = k + ls <= lt && (String.sub txt k ls = sub || at (k + 1)) in
+              ls <= lt && at 0
+            in
+            has_sub "sort")
+      then true
+      else go (j + 1)
+  in
+  go (i + 1)
+
+let check ~file tokens =
+  let out = ref [] in
+  Array.iteri
+    (fun i (t : Tokenizer.token) ->
+      if
+        t.Tokenizer.kind = Tokenizer.Ident
+        && is_target t.Tokenizer.text
+        && not (sorted_soon tokens i)
+      then
+        out :=
+          Finding.make ~rule:id ~file ~line:t.Tokenizer.line
+            ~col:t.Tokenizer.col
+            (Printf.sprintf
+               "'%s' enumerates in hash-bucket order; sort the collected \
+                bindings (use Lk_util.Det.sorted_bindings) or allowlist \
+                this site"
+               t.Tokenizer.text)
+          :: !out)
+    tokens;
+  List.rev !out

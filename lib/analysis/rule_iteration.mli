@@ -1,0 +1,17 @@
+(** Rule [iteration-order]: [Hashtbl.fold]/[Hashtbl.iter] under [lib/]
+    enumerate bindings in hash-bucket order, which is not a function of the
+    table's contents; output built from that order silently breaks
+    bit-for-bit reproducibility (even a float *sum* depends on summation
+    order).
+
+    A site is accepted when a sorting call ([List.sort], [Array.sort],
+    [sort_uniq], [Lk_util.Det.sorted_bindings], ...) appears within the
+    next few tokens — the "immediately sorted" idiom — or when it is
+    allowlisted. *)
+
+val id : string
+
+(** Number of tokens scanned ahead for a sorting call. *)
+val lookahead : int
+
+val check : file:string -> Tokenizer.token array -> Finding.t list

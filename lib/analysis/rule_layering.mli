@@ -1,0 +1,25 @@
+(** Rule [layering]: enforces the library dependency DAG by parsing the
+    [(libraries ...)] stanzas of every [lib/*/dune] file:
+
+    {v
+    lk_util -> lk_stats -> lk_knapsack -> lk_oracle
+            -> {lk_repro, lk_workloads} -> {lk_lca, lk_lcakp}
+            -> {lk_baselines, lk_hardness, lk_ext}
+    v}
+
+    Each library may name only lk_* libraries from strictly earlier layers
+    (external dependencies are unconstrained).  Notably [lk_lcakp] and
+    [lk_lca] must not depend on [lk_workloads]: an LCA that can name its
+    workload generator can bypass the oracle model.  A library stanza whose
+    name is unknown produces a warning asking for a table update. *)
+
+val id : string
+
+(** Allowed lk_* dependencies per library name. *)
+val allowed : (string * string list) list
+
+(** [check_dune ~path ~content] lints one dune file given its text. *)
+val check_dune : path:string -> content:string -> Finding.t list
+
+(** [check_files [(path, content); ...]] lints a batch of dune files. *)
+val check_files : (string * string) list -> Finding.t list

@@ -1,0 +1,18 @@
+let id = "mli-coverage"
+
+let check ~files =
+  let mlis =
+    List.filter (fun f -> Filename.check_suffix f ".mli") files
+  in
+  files
+  |> List.filter (fun f -> Filename.check_suffix f ".ml")
+  |> List.filter_map (fun ml ->
+         if List.mem (ml ^ "i") mlis then None
+         else
+           Some
+             (Finding.make ~rule:id ~file:ml ~line:1 ~col:1
+                (Printf.sprintf
+                   "missing interface %si: every lib/ module declares its \
+                    public surface"
+                   (Filename.basename ml))))
+  |> List.sort Finding.compare_location

@@ -1,0 +1,9 @@
+(** Rule [mli-coverage]: every [lib/**/*.ml] must have a matching [.mli].
+    Interfaces are where the oracle-discipline boundary lives — a module
+    without one exports everything, including its raw-access internals. *)
+
+val id : string
+
+(** [check ~files] takes the relative paths of all files under [lib/] and
+    reports each [.ml] without a sibling [.mli]. *)
+val check : files:string list -> Finding.t list

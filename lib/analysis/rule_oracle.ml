@@ -1,0 +1,48 @@
+let id = "oracle-discipline"
+
+(* Layers above lk_oracle in the DAG: code here implements or measures LCAs
+   and must reach instance *items* only through lib/oracle (Access/query
+   oracles), so the per-probe counters that back every sublinearity claim
+   stay sound.  Reading instance metadata (size, capacity) is fine. *)
+let restricted_dirs =
+  [ "lib/core/"; "lib/lca/"; "lib/reproducible/"; "lib/baselines/";
+    "lib/hardness/"; "lib/extensions/" ]
+
+let accessors = [ "Instance.item"; "Instance.items"; "Instance.profits"; "Instance.weights" ]
+
+let applies_to file =
+  List.exists
+    (fun d ->
+      String.length file >= String.length d
+      && String.sub file 0 (String.length d) = d)
+    restricted_dirs
+
+(* Tokens are whole dotted names ("Instance.item",
+   "Lk_knapsack.Instance.items", "inst.Instance.items"): an accessor
+   matches exactly or as a ".", suffix. *)
+let names_accessor name =
+  List.exists
+    (fun a ->
+      name = a
+      ||
+      let dotted = "." ^ a in
+      let ld = String.length dotted and ln = String.length name in
+      ln > ld && String.sub name (ln - ld) ld = dotted)
+    accessors
+
+let check ~file tokens =
+  if not (applies_to file) then []
+  else
+    Array.to_list tokens
+    |> List.filter_map (fun (t : Tokenizer.token) ->
+           if t.Tokenizer.kind = Tokenizer.Ident && names_accessor t.Tokenizer.text
+           then
+             Some
+               (Finding.make ~rule:id ~file ~line:t.Tokenizer.line
+                  ~col:t.Tokenizer.col
+                  (Printf.sprintf
+                     "'%s' reads instance items directly above the oracle \
+                      layer; go through Lk_oracle.Access so probe counters \
+                      stay sound (or allowlist with a justification)"
+                     t.Tokenizer.text))
+           else None)

@@ -1,0 +1,18 @@
+(** Rule [oracle-discipline]: code in the layers above [lk_oracle]
+    ([lib/core], [lib/lca], [lib/reproducible], [lib/baselines],
+    [lib/hardness], [lib/extensions]) must reach instance items only through
+    [Lk_oracle.Access] / the query oracles, never via [Instance.item],
+    [Instance.items], [Instance.profits] or [Instance.weights] directly —
+    otherwise the per-probe query accounting behind every sublinearity claim
+    (Definition 2.2's probe model) is unsound.
+
+    Legitimate exceptions — reading a *constructed* instance (the Ĩ of
+    Lemma 4.4), a model-drawn reference instance, or an offline evaluation
+    helper — are recorded in [lint.allow] with a justification. *)
+
+val id : string
+
+(** Directory prefixes the rule applies to. *)
+val restricted_dirs : string list
+
+val check : file:string -> Tokenizer.token array -> Finding.t list

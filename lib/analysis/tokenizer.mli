@@ -1,0 +1,23 @@
+(** A lightweight, comment- and string-aware OCaml tokenizer.
+
+    This is *not* a full OCaml lexer (no compiler-libs dependency): it
+    produces just enough structure for the lint rules — identifiers (with
+    module paths glued into one dotted token, e.g. ["Hashtbl.fold"] or
+    ["Lk_util.Rng.create"]), integer and float literals, operator runs, and
+    single punctuation characters — while *discarding* the contents of
+    string literals (["..."] and [{tag|...|tag}]) and (nested) comments, so
+    a banned name mentioned in a docstring never trips a rule. *)
+
+type kind =
+  | Ident  (** identifier or keyword, module paths joined: ["List.sort"] *)
+  | Int_lit
+  | Float_lit  (** has a decimal point or exponent: ["0."], ["1e-9"] *)
+  | Op  (** operator run: ["="], ["<>"], ["+."], ["|>"] *)
+  | Punct  (** single delimiter: ["("], ["{"], [";"], or a char literal *)
+
+type token = { text : string; line : int; col : int; kind : kind }
+(** [line] and [col] are 1-based and point at the token's first character. *)
+
+(** [tokenize src] lexes a whole compilation unit.  Never raises: malformed
+    input degrades to best-effort tokens. *)
+val tokenize : string -> token array

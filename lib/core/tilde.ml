@@ -26,8 +26,7 @@ let build (params : Params.t) access ~seed ~fresh =
     let i, it = Access.sample access fresh in
     if it.Item.profit > cutoff then Hashtbl.replace seen i it
   done;
-  let large = Hashtbl.fold (fun i it acc -> (i, it) :: acc) seen [] in
-  let large = List.sort (fun (a, _) (b, _) -> compare a b) large in
+  let large = Lk_util.Det.sorted_bindings seen in
   let large_profit =
     Lk_util.Float_utils.sum (Array.of_list (List.map (fun (_, it) -> it.Item.profit) large))
   in

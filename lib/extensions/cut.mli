@@ -1,0 +1,27 @@
+(** Greedy efficiency cut-offs in the tie-refined domain, shared by
+    {!Oblivious} and {!Hybrid}.
+
+    Both model-based LCAs answer membership by comparing an item's refined
+    efficiency code against a cut struck on a reference instance; this module
+    computes the cut and the per-item refined codes. *)
+
+(** Number of salt bits appended below the efficiency code when refining
+    ties; both the cut and {!refined_code} must agree on it. *)
+val tie_bits : int
+
+(** [greedy_cut ?max_profit ~capacity instance] sweeps the items of
+    [instance] (ignoring items with profit above [max_profit], default
+    [infinity]) in decreasing efficiency order, grouped by unrefined
+    efficiency code, and returns [(efficiency, refined_code)] such that
+    including every item with refined code [>= refined_code] fills at most
+    [capacity] in expectation: the class straddling the capacity is cut
+    proportionally via the salt threshold (per-item salts are uniform in the
+    tie range). *)
+val greedy_cut :
+  ?max_profit:float -> capacity:float -> Lk_knapsack.Instance.t -> float * int
+
+(** [refined_code ~seed ~index eff] is the tie-refined domain code of
+    efficiency [eff] for item [index]: the encoded efficiency with a
+    deterministic per-item salt (derived from [seed] and [index]) appended in
+    the low [tie_bits] bits. *)
+val refined_code : seed:int64 -> index:int -> float -> int

@@ -31,7 +31,7 @@ let create ?(margin = 0.05) ?(jumbo_cutoff = 0.01) model access ~seed ~fresh =
     if it.Item.profit > jumbo_cutoff then Hashtbl.replace seen i it
   done;
   let jumbos =
-    Hashtbl.fold (fun i it acc -> (i, it) :: acc) seen []
+    Lk_util.Det.sorted_bindings seen
     |> List.sort (fun (i, a) (j, b) ->
            let c = Item.compare_by_efficiency_desc a b in
            if c <> 0 then c else compare i j)

@@ -32,7 +32,12 @@ let measure (lca : Lca.t) ~probes ~runs ~fresh =
   Array.iter
     (fun k -> Hashtbl.replace freq k (1 + Option.value ~default:0 (Hashtbl.find_opt freq k)))
     keys;
-  let match_rate = Hashtbl.fold (fun _ c acc -> acc +. ((float_of_int c /. n) ** 2.)) freq 0. in
+  let match_rate =
+    List.fold_left
+      (fun acc (_, c) -> acc +. ((float_of_int c /. n) ** 2.))
+      0.
+      (Lk_util.Det.sorted_bindings freq)
+  in
   {
     runs;
     probes = Array.length probes;

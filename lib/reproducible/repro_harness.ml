@@ -22,12 +22,12 @@ let evaluate ~runs ~shared_seed ~fresh ~sampler ~algorithm ~accurate =
     outputs;
   let n = float_of_int runs in
   let pairwise = ref 0. and modal = ref 0 in
-  Hashtbl.iter
-    (fun _ c ->
+  List.iter
+    (fun (_, c) ->
       let f = float_of_int c /. n in
       pairwise := !pairwise +. (f *. f);
       if c > !modal then modal := c)
-    freq;
+    (Lk_util.Det.sorted_bindings freq);
   let accurate_count = Array.fold_left (fun acc o -> if accurate o then acc + 1 else acc) 0 outputs in
   {
     runs;

@@ -1,0 +1,11 @@
+(* Hash tables iterate in bucket order, which depends on the hash function
+   and the insertion history — never expose that order to callers.  This is
+   the one vetted place that iterates a table directly; everything else goes
+   through [sorted_bindings] so results are a deterministic function of the
+   table's *contents*. *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sorted_keys tbl = List.map fst (sorted_bindings tbl)

@@ -1,0 +1,16 @@
+(** Determinism helpers for mutable tables.
+
+    OCaml's [Hashtbl.fold]/[Hashtbl.iter] enumerate bindings in hash-bucket
+    order, which is not a function of the table's contents alone.  Any code
+    whose output feeds a reproducibility guarantee (everything under [lib/])
+    must consume tables through these sorted views instead; the
+    [iteration-order] lint rule enforces this. *)
+
+(** [sorted_bindings tbl] is the list of bindings of [tbl] sorted by key
+    (polymorphic [compare]); independent of insertion and bucket order.  As
+    with [Hashtbl.fold], a key bound several times with [Hashtbl.add]
+    contributes all its bindings. *)
+val sorted_bindings : ('a, 'b) Hashtbl.t -> ('a * 'b) list
+
+(** [sorted_keys tbl] is [List.map fst (sorted_bindings tbl)]. *)
+val sorted_keys : ('a, 'b) Hashtbl.t -> 'a list

@@ -83,4 +83,4 @@ let sample_distinct t ~n ~k =
     let pick = if Hashtbl.mem seen r then j else r in
     Hashtbl.replace seen pick ()
   done;
-  Hashtbl.fold (fun i () acc -> i :: acc) seen []
+  Det.sorted_keys seen

@@ -1,0 +1,310 @@
+module T = Lk_analysis.Tokenizer
+module F = Lk_analysis.Finding
+module Allow = Lk_analysis.Allowlist
+module Det = Lk_analysis.Rule_determinism
+module Iter = Lk_analysis.Rule_iteration
+module Feq = Lk_analysis.Rule_float_eq
+module Mli = Lk_analysis.Rule_mli
+module Layer = Lk_analysis.Rule_layering
+module Oracle = Lk_analysis.Rule_oracle
+module Engine = Lk_analysis.Engine
+
+let rules_of findings = List.map (fun f -> f.F.rule) findings
+
+let check_rules msg expected findings =
+  Alcotest.(check (list string)) msg expected (rules_of findings)
+
+(* ------------------------------------------------------------------ *)
+(* tokenizer *)
+
+let texts tokens = Array.to_list tokens |> List.map (fun t -> t.T.text)
+
+let test_tokenizer_strings_and_comments () =
+  let src =
+    "let x = \"Random.self_init\" (* Hashtbl.fold (* nested Sys.time *) *) \
+     0.5\n\
+     let y = {tag|Unix.gettimeofday|tag} 'R'\n"
+  in
+  let tokens = T.tokenize src in
+  let ts = texts tokens in
+  Alcotest.(check bool) "string dropped" false (List.mem "Random.self_init" ts);
+  Alcotest.(check bool) "comment dropped" false (List.mem "Hashtbl.fold" ts);
+  Alcotest.(check bool) "nested comment dropped" false (List.mem "Sys.time" ts);
+  Alcotest.(check bool)
+    "quoted string dropped" false
+    (List.mem "Unix.gettimeofday" ts);
+  Alcotest.(check bool) "float literal survives" true (List.mem "0.5" ts);
+  check_rules "no findings in strings/comments" []
+    (Det.check ~file:"lib/a/x.ml" tokens)
+
+let test_tokenizer_positions_and_kinds () =
+  let tokens = T.tokenize "let a =\n  Lk_util.Rng.create 7L\n" in
+  let tok text = Array.to_list tokens |> List.find (fun t -> t.T.text = text) in
+  let create = tok "Lk_util.Rng.create" in
+  Alcotest.(check int) "line" 2 create.T.line;
+  Alcotest.(check int) "col" 3 create.T.col;
+  Alcotest.(check bool) "dotted ident" true (create.T.kind = T.Ident);
+  Alcotest.(check bool) "int literal" true ((tok "7L").T.kind = T.Int_lit)
+
+let test_tokenizer_float_kinds () =
+  let tokens = T.tokenize "0.5 1. 1e-9 3 0x2A" in
+  let kinds = Array.to_list tokens |> List.map (fun t -> (t.T.text, t.T.kind)) in
+  Alcotest.(check bool) "0.5" true (List.assoc "0.5" kinds = T.Float_lit);
+  Alcotest.(check bool) "1." true (List.assoc "1." kinds = T.Float_lit);
+  Alcotest.(check bool) "1e-9" true (List.assoc "1e-9" kinds = T.Float_lit);
+  Alcotest.(check bool) "3" true (List.assoc "3" kinds = T.Int_lit);
+  Alcotest.(check bool) "0x2A" true (List.assoc "0x2A" kinds = T.Int_lit)
+
+(* ------------------------------------------------------------------ *)
+(* determinism *)
+
+let test_determinism_positive () =
+  let tokens = T.tokenize "let () = Random.self_init ()\nlet t = Sys.time ()\n" in
+  check_rules "both banned calls" [ "determinism"; "determinism" ]
+    (Det.check ~file:"lib/a/x.ml" tokens)
+
+let test_determinism_negative () =
+  let tokens =
+    T.tokenize
+      "let r = Lk_util.Rng.of_path seed [ \"x\" ]\nlet s = Sys.file_exists p\n"
+  in
+  check_rules "rng and benign Sys are fine" []
+    (Det.check ~file:"lib/a/x.ml" tokens)
+
+(* ------------------------------------------------------------------ *)
+(* iteration-order *)
+
+let test_iteration_positive () =
+  let tokens =
+    T.tokenize "let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []\n"
+  in
+  check_rules "unsorted fold flagged" [ "iteration-order" ]
+    (Iter.check ~file:"lib/a/x.ml" tokens)
+
+let test_iteration_negative () =
+  let sorted =
+    T.tokenize
+      "let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> \
+       List.sort compare\n"
+  in
+  check_rules "immediately sorted fold accepted" []
+    (Iter.check ~file:"lib/a/x.ml" sorted);
+  let wrapper = T.tokenize "let l = Lk_util.Det.sorted_bindings tbl\n" in
+  check_rules "Det wrapper accepted" [] (Iter.check ~file:"lib/a/x.ml" wrapper)
+
+(* ------------------------------------------------------------------ *)
+(* float-equality *)
+
+let test_float_eq_positive () =
+  let tokens =
+    T.tokenize "let f w = if w = 0.75 then 1 else 0\nlet g x = x <> 1.\n"
+  in
+  check_rules "comparisons flagged" [ "float-equality"; "float-equality" ]
+    (Feq.check ~file:"lib/a/x.ml" tokens)
+
+let test_float_eq_negative () =
+  let tokens =
+    T.tokenize
+      "let eps = 1e-9\n\
+       let p = { tau = 0.25; rho = 0.15 }\n\
+       let h ?(scale = 1.) x = x >= 0.5 && scale <= 2.\n"
+  in
+  check_rules "bindings, fields, defaults, orderings all fine" []
+    (Feq.check ~file:"lib/a/x.ml" tokens)
+
+(* ------------------------------------------------------------------ *)
+(* mli-coverage *)
+
+let test_mli_coverage () =
+  let files =
+    [ "lib/a/x.ml"; "lib/a/x.mli"; "lib/a/y.ml"; "lib/a/dune" ]
+  in
+  let findings = Mli.check ~files in
+  check_rules "y.ml uncovered" [ "mli-coverage" ] findings;
+  Alcotest.(check string)
+    "names the file" "lib/a/y.ml"
+    (List.hd findings).F.file
+
+(* ------------------------------------------------------------------ *)
+(* layering *)
+
+let test_layering_fixtures () =
+  check_rules "legal stanza" []
+    (Layer.check_dune ~path:"lib/lca/dune"
+       ~content:"(library (name lk_lca) (libraries lk_util lk_oracle fmt))");
+  check_rules "illegal workloads dep" [ "layering" ]
+    (Layer.check_dune ~path:"lib/lca/dune"
+       ~content:"(library (name lk_lca) (libraries lk_util lk_workloads))");
+  check_rules "inverted edge" [ "layering" ]
+    (Layer.check_dune ~path:"lib/util/dune"
+       ~content:"(library (name lk_util) (libraries lk_stats))")
+
+let repo_lib_dune_files () =
+  (* Tests run in _build/default/test; the lib tree is a declared dep one
+     level up. *)
+  let root =
+    if Sys.file_exists "../lib" then ".." else if Sys.file_exists "lib" then "." else Alcotest.fail "lib/ not found from test cwd"
+  in
+  Sys.readdir (Filename.concat root "lib")
+  |> Array.to_list |> List.sort compare
+  |> List.filter_map (fun d ->
+         let path = Filename.concat (Filename.concat root "lib") d in
+         let dune = Filename.concat path "dune" in
+         if Sys.is_directory path && Sys.file_exists dune then
+           let ic = open_in_bin dune in
+           let content = really_input_string ic (in_channel_length ic) in
+           close_in ic;
+           Some ("lib/" ^ d ^ "/dune", content)
+         else None)
+
+let test_layering_real_tree () =
+  let files = repo_lib_dune_files () in
+  Alcotest.(check bool)
+    "found the real dune files" true
+    (List.length files >= 10);
+  check_rules "real tree respects the DAG" [] (Layer.check_files files)
+
+(* ------------------------------------------------------------------ *)
+(* oracle-discipline *)
+
+let test_oracle_discipline () =
+  let bad = T.tokenize "let it = Lk_knapsack.Instance.item inst i\n" in
+  check_rules "direct item access flagged" [ "oracle-discipline" ]
+    (Oracle.check ~file:"lib/lca/x.ml" bad);
+  check_rules "oracle layer itself may touch items" []
+    (Oracle.check ~file:"lib/oracle/x.ml" bad);
+  let meta = T.tokenize "let n = Instance.size inst\n" in
+  check_rules "metadata access is fine" []
+    (Oracle.check ~file:"lib/lca/x.ml" meta)
+
+(* ------------------------------------------------------------------ *)
+(* allowlist *)
+
+let test_allowlist_round_trip () =
+  let t =
+    Allow.parse
+      "# header comment\n\
+       float-equality lib/a/x.ml # exact constant\n\
+       iteration-order lib/b/y.ml:12 # vetted wrapper\n"
+  in
+  Alcotest.(check int) "two entries" 2 (List.length (Allow.entries t));
+  check_rules "no parse errors" [] (Allow.errors t);
+  Alcotest.(check bool) "file-level match" true
+    (Allow.is_allowed t ~rule:"float-equality" ~file:"lib/a/x.ml" ~line:99);
+  Alcotest.(check bool) "line-level match" true
+    (Allow.is_allowed t ~rule:"iteration-order" ~file:"lib/b/y.ml" ~line:12);
+  Alcotest.(check bool) "wrong line rejected" false
+    (Allow.is_allowed t ~rule:"iteration-order" ~file:"lib/b/y.ml" ~line:13);
+  Alcotest.(check bool) "wrong rule rejected" false
+    (Allow.is_allowed t ~rule:"determinism" ~file:"lib/a/x.ml" ~line:1);
+  check_rules "no stale entries after both matched" [] (Allow.stale t)
+
+let test_allowlist_requires_justification () =
+  let t = Allow.parse "float-equality lib/a/x.ml\n" in
+  Alcotest.(check int) "entry rejected" 0 (List.length (Allow.entries t));
+  check_rules "missing justification is an error" [ "allowlist" ]
+    (Allow.errors t)
+
+let test_allowlist_stale_and_unknown () =
+  let t = Allow.parse "no-such-rule lib/a/x.ml # why\n" in
+  check_rules "unknown rule id warned"
+    [ "allowlist" ]
+    (Allow.known_rule_warnings t ~known:(List.map fst Engine.rules));
+  let stale = Allow.stale t in
+  check_rules "unused entry is stale" [ "allowlist" ] stale;
+  Alcotest.(check bool) "stale is a warning" false (F.is_error (List.hd stale))
+
+(* ------------------------------------------------------------------ *)
+(* engine end-to-end on a fixture tree *)
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let test_engine_fixture_tree () =
+  let root = Filename.temp_dir "lk_analysis" "fixture" in
+  let dir = Filename.concat root "lib/demo" in
+  ignore (Sys.command (Printf.sprintf "mkdir -p %s" (Filename.quote dir)));
+  write_file
+    (Filename.concat dir "dune")
+    "(library (name lk_lca) (libraries lk_util lk_workloads))";
+  write_file
+    (Filename.concat dir "bad.ml")
+    "let () = Random.self_init ()\n\
+     let l tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []\n";
+  write_file (Filename.concat dir "bad.mli") "val l : (int, int) Hashtbl.t -> (int * int) list\n";
+  let _, findings = Engine.run ~root () in
+  let errors = List.filter F.is_error findings in
+  check_rules "fixture violations surface, sorted"
+    [ "determinism"; "iteration-order"; "layering" ]
+    errors;
+  (* allowlisting the fold site silences exactly that finding *)
+  write_file
+    (Filename.concat root "lint.allow")
+    "iteration-order lib/demo/bad.ml # fixture: vetted on purpose\n";
+  let _, findings = Engine.run ~root () in
+  check_rules "allowlisted finding dropped, no stale warnings"
+    [ "determinism"; "layering" ]
+    (List.filter F.is_error findings);
+  Alcotest.(check int) "no warnings left" 0
+    (List.length (List.filter (fun f -> not (F.is_error f)) findings))
+
+let test_engine_real_tree () =
+  let root =
+    if Sys.file_exists "../lib" then ".." else if Sys.file_exists "lib" then "." else Alcotest.fail "lib/ not found from test cwd"
+  in
+  let files, findings = Engine.run ~root () in
+  Alcotest.(check bool) "scanned a real tree" true (files > 50);
+  check_rules "repo at HEAD is lint-clean" []
+    (List.filter F.is_error findings)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "tokenizer",
+        [
+          Alcotest.test_case "strings and comments" `Quick
+            test_tokenizer_strings_and_comments;
+          Alcotest.test_case "positions and kinds" `Quick
+            test_tokenizer_positions_and_kinds;
+          Alcotest.test_case "literal kinds" `Quick test_tokenizer_float_kinds;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "positive" `Quick test_determinism_positive;
+          Alcotest.test_case "negative" `Quick test_determinism_negative;
+        ] );
+      ( "iteration-order",
+        [
+          Alcotest.test_case "positive" `Quick test_iteration_positive;
+          Alcotest.test_case "negative" `Quick test_iteration_negative;
+        ] );
+      ( "float-equality",
+        [
+          Alcotest.test_case "positive" `Quick test_float_eq_positive;
+          Alcotest.test_case "negative" `Quick test_float_eq_negative;
+        ] );
+      ( "mli-coverage",
+        [ Alcotest.test_case "uncovered module" `Quick test_mli_coverage ] );
+      ( "layering",
+        [
+          Alcotest.test_case "fixtures" `Quick test_layering_fixtures;
+          Alcotest.test_case "real lib/*/dune" `Quick test_layering_real_tree;
+        ] );
+      ( "oracle-discipline",
+        [ Alcotest.test_case "scoped accessor ban" `Quick test_oracle_discipline ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "round trip" `Quick test_allowlist_round_trip;
+          Alcotest.test_case "justification required" `Quick
+            test_allowlist_requires_justification;
+          Alcotest.test_case "stale and unknown" `Quick
+            test_allowlist_stale_and_unknown;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "fixture tree" `Quick test_engine_fixture_tree;
+          Alcotest.test_case "real tree" `Quick test_engine_real_tree;
+        ] );
+    ]

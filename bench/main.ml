@@ -25,8 +25,10 @@ let params_tight = Params.practical ~sample_scale:0.02 0.15
 let algo_10k = Lca_kp.create params_fast access_10k ~seed:42L
 let algo_100k = Lca_kp.create params_fast access_100k ~seed:42L
 let algo_10k_tight = Lca_kp.create params_tight access_10k ~seed:42L
-let fresh = Rng.create 1234L
-let prebuilt_state = Lca_kp.run algo_10k ~fresh
+(* Each timed closure owns its generator: one stream shared across benches
+   would couple every bench's draws to how many iterations the previously
+   run benches happened to execute (and to fixture building). *)
+let prebuilt_state = Lca_kp.run algo_10k ~fresh:(Rng.create 1234L)
 
 let small_int_instance =
   let rng = Rng.create 5L in
@@ -51,10 +53,16 @@ let alias = Lk_stats.Alias.create (Lk_knapsack.Instance.profits norm_10k)
 let stage = Staged.stage
 
 let lca_query_benches =
+  let fresh_10k = Rng.create 1235L
+  and fresh_100k = Rng.create 1236L
+  and fresh_tight = Rng.create 1237L in
   [
-    Test.make ~name:"query n=10k eps=0.25" (stage (fun () -> Lca_kp.query algo_10k ~fresh 17));
-    Test.make ~name:"query n=100k eps=0.25" (stage (fun () -> Lca_kp.query algo_100k ~fresh 17));
-    Test.make ~name:"query n=10k eps=0.15" (stage (fun () -> Lca_kp.query algo_10k_tight ~fresh 17));
+    Test.make ~name:"query n=10k eps=0.25"
+      (stage (fun () -> Lca_kp.query algo_10k ~fresh:fresh_10k 17));
+    Test.make ~name:"query n=100k eps=0.25"
+      (stage (fun () -> Lca_kp.query algo_100k ~fresh:fresh_100k 17));
+    Test.make ~name:"query n=10k eps=0.15"
+      (stage (fun () -> Lca_kp.query algo_10k_tight ~fresh:fresh_tight 17));
     Test.make ~name:"answer only (state reused)"
       (stage (fun () -> Lca_kp.answer algo_10k prebuilt_state 17));
   ]
@@ -81,11 +89,12 @@ let repro_benches =
 let tie_ablation_benches =
   let params_no_tie = Params.practical ~tie_bits:0 ~sample_scale:0.02 0.25 in
   let algo_no_tie = Lca_kp.create params_no_tie access_10k ~seed:42L in
+  let fresh_tie = Rng.create 1238L and fresh_no_tie = Rng.create 1239L in
   [
     Test.make ~name:"query with tie-break (16 bits)"
-      (stage (fun () -> Lca_kp.query algo_10k ~fresh 17));
+      (stage (fun () -> Lca_kp.query algo_10k ~fresh:fresh_tie 17));
     Test.make ~name:"query paper-verbatim (tie_bits=0)"
-      (stage (fun () -> Lca_kp.query algo_no_tie ~fresh 17));
+      (stage (fun () -> Lca_kp.query algo_no_tie ~fresh:fresh_no_tie 17));
   ]
 
 let solver_benches =
@@ -105,10 +114,11 @@ let extension_benches =
     { Lk_ext.Oblivious.family = Gen.Garbage_mix; n = 10_000; capacity_fraction = 0.4 }
   in
   let obl = Lk_ext.Oblivious.create model access_10k ~seed:42L in
+  let fresh_hybrid = Rng.create 1240L in
   [
     Test.make ~name:"oblivious query" (stage (fun () -> Lk_ext.Oblivious.query obl 17));
     Test.make ~name:"hybrid full run"
-      (stage (fun () -> Lk_ext.Hybrid.create model access_10k ~seed:42L ~fresh));
+      (stage (fun () -> Lk_ext.Hybrid.create model access_10k ~seed:42L ~fresh:fresh_hybrid));
     Test.make ~name:"heavy-hitters 20k samples"
       (stage
          (let hh_params = { Lk_repro.Heavy_hitters.threshold = 0.05; rho = 0.2 } in
@@ -117,16 +127,23 @@ let extension_benches =
   ]
 
 let substrate_benches =
+  let fresh_alias = Rng.create 1241L
+  and fresh_orgame = Rng.create 1242L
+  and fresh_maximal = Rng.create 1243L
+  and fresh_iky = Rng.create 1244L in
   [
-    Test.make ~name:"weighted sample (alias)" (stage (fun () -> Lk_stats.Alias.sample alias fresh));
+    Test.make ~name:"weighted sample (alias)"
+      (stage (fun () -> Lk_stats.Alias.sample alias fresh_alias));
     Test.make ~name:"or-game trial n=4096 q=n/3"
       (stage (fun () ->
            Lk_hardness.Reduction.measured_success Lk_hardness.Reduction.Exact ~n:4096
-             ~budget:1365 ~trials:1 fresh));
+             ~budget:1365 ~trials:1 fresh_orgame));
     Test.make ~name:"maximal-hard play n=1100 q=n/11"
-      (stage (fun () -> Lk_hardness.Maximal_hard.play ~n:1100 ~budget:100 ~trials:1 fresh));
+      (stage (fun () ->
+           Lk_hardness.Maximal_hard.play ~n:1100 ~budget:100 ~trials:1 fresh_maximal));
     Test.make ~name:"iky value-approx eps=0.25"
-      (stage (fun () -> Lk_lcakp.Iky_value.approximate_opt params_fast access_10k ~seed:2L ~fresh));
+      (stage (fun () ->
+           Lk_lcakp.Iky_value.approximate_opt params_fast access_10k ~seed:2L ~fresh:fresh_iky));
   ]
 
 let grouped =

@@ -23,6 +23,40 @@ module Maximal_hard = Lk_hardness.Maximal_hard
 module Rmedian = Lk_repro.Rmedian
 module Harness = Lk_repro.Repro_harness
 module Alias = Lk_stats.Alias
+module Engine = Lk_parallel.Engine
+
+(* ------------------------------------------------------------ trial fan-out
+
+   Every experiment below is a loop of independent trials.  [jobs = None]
+   keeps the legacy serial loops (one RNG stream threaded through all
+   trials — the historical EXPERIMENTS.md numbers).  [jobs = Some k] runs
+   the loops on the deterministic engine (lib/parallel): each row derives a
+   fresh base stream from the experiment RNG, each trial computes on the
+   index-derived stream [Rng.split_at base i], and results merge in trial
+   order — so the tables are bitwise identical for every k >= 1. *)
+
+let fanout_success ~jobs kind ~n ~budget ~trials rng =
+  match jobs with
+  | None -> Reduction.measured_success kind ~n ~budget ~trials rng
+  | Some jobs ->
+      let base = Rng.split rng in
+      Engine.mean_of ~jobs ~base ~trials (fun ~index:_ ~rng ->
+          if Reduction.trial kind ~n ~budget rng then 1. else 0.)
+
+let fanout_play ~jobs ~n ~budget ~trials rng =
+  match jobs with
+  | None -> Maximal_hard.play ~n ~budget ~trials rng
+  | Some jobs ->
+      let base = Rng.split rng in
+      Engine.mean_of ~jobs ~base ~trials (fun ~index ~rng ->
+          if Maximal_hard.play_one ~n ~budget ~trial:(index + 1) rng then 1. else 0.)
+
+let fanout_array ~jobs ~trials fresh f =
+  match jobs with
+  | None -> Array.init trials (fun i -> f i fresh)
+  | Some jobs ->
+      let base = Rng.split fresh in
+      Engine.run ~jobs ~base ~trials (fun ~index ~rng -> f index rng)
 
 let figure_1 () =
   print_string
@@ -41,7 +75,7 @@ let figure_1 () =
 
 (* ------------------------------------------------------------------ E1 *)
 
-let e1 ~quick () =
+let e1 ~quick ~jobs () =
   figure_1 ();
   let trials = if quick then 500 else 4000 in
   let t =
@@ -54,7 +88,7 @@ let e1 ~quick () =
       List.iter
         (fun frac ->
           let budget = max 1 (int_of_float (frac *. float_of_int n)) in
-          let measured = Reduction.measured_success Reduction.Exact ~n ~budget ~trials rng in
+          let measured = fanout_success ~jobs Reduction.Exact ~n ~budget ~trials rng in
           let analytic = Or_game.analytic_success ~n:(n - 1) ~budget in
           Tbl.add_row t
             [
@@ -73,7 +107,7 @@ let e1 ~quick () =
 
 (* ------------------------------------------------------------------ E2 *)
 
-let e2 ~quick () =
+let e2 ~quick ~jobs () =
   let trials = if quick then 500 else 4000 in
   let n = 4096 in
   let t =
@@ -88,7 +122,7 @@ let e2 ~quick () =
         (fun frac ->
           let budget = max 1 (int_of_float (frac *. float_of_int n)) in
           let kind = Reduction.Approximate { alpha; beta = alpha /. 2. } in
-          let measured = Reduction.measured_success kind ~n ~budget ~trials rng in
+          let measured = fanout_success ~jobs kind ~n ~budget ~trials rng in
           Tbl.add_row t
             [
               Tbl.cell_float ~decimals:2 alpha;
@@ -106,7 +140,7 @@ let e2 ~quick () =
 
 (* ------------------------------------------------------------------ E3 *)
 
-let e3 ~quick () =
+let e3 ~quick ~jobs () =
   let trials = if quick then 500 else 4000 in
   let t =
     Tbl.create
@@ -119,7 +153,7 @@ let e3 ~quick () =
     (fun n ->
       List.iter
         (fun budget ->
-          let measured = Maximal_hard.play ~n ~budget ~trials rng in
+          let measured = fanout_play ~jobs ~n ~budget ~trials rng in
           let analytic = Maximal_hard.analytic_success ~n ~budget in
           Tbl.add_row t
             [
@@ -140,7 +174,7 @@ let e3 ~quick () =
 
 let quality_families = [ Gen.Uniform; Gen.Few_large; Gen.Garbage_mix; Gen.Heavy_tail; Gen.Subset_sum ]
 
-let e4 ~quick () =
+let e4 ~quick ~jobs () =
   let t =
     Tbl.create
       ~title:"E4 (Theorem 4.1 / Lemma 4.8): LCA-KP solution value vs OPT"
@@ -159,8 +193,8 @@ let e4 ~quick () =
           let params = Params.practical ~sample_scale:scale epsilon in
           let algo = Lca_kp.create params access ~seed:5L in
           let runs = if quick then 1 else runs in
-          let values = Array.init runs (fun _ ->
-              let state = Lca_kp.run algo ~fresh in
+          let values = fanout_array ~jobs ~trials:runs fresh (fun _ rng ->
+              let state = Lca_kp.run algo ~fresh:rng in
               (Solution.profit norm (Lca_kp.induced_solution algo state),
                Lca_kp.samples_per_query algo state)) in
           let value = Fu.mean (Array.map fst values) in
@@ -185,36 +219,39 @@ let e4 ~quick () =
     "Claim check: every row meets p(C) >= OPT/2 - 6eps; ratios approach 1/2 (and beyond when\n\
      large items dominate, e.g. few-large/heavy-tail where the LCA recovers L(I) exactly).\n"
 
-let e5 ~quick () =
+let e5 ~quick ~jobs () =
   let t =
     Tbl.create ~title:"E5 (Lemma 4.7): feasibility of the induced solution (fuzz)"
       [ "family"; "runs"; "feasible"; "rate" ]
   in
   let fresh = Rng.create 505L in
   let epsilons = [ 0.1; 0.15; 0.25 ] and seeds = if quick then [ 1 ] else [ 1; 2; 3; 4; 5 ] in
+  let combos =
+    Array.of_list
+      (List.concat_map (fun epsilon -> List.map (fun seed -> (epsilon, seed)) seeds) epsilons)
+  in
   List.iter
     (fun family ->
-      let total = ref 0 and feasible = ref 0 in
-      List.iter
-        (fun epsilon ->
-          List.iter
-            (fun seed ->
-              let inst = Gen.generate family (Rng.create (Int64.of_int seed)) ~n:2000 in
-              let access = Access.of_instance inst in
-              let params = Params.practical ~sample_scale:0.002 epsilon in
-              let algo = Lca_kp.create params access ~seed:(Int64.of_int (17 * seed)) in
-              let state = Lca_kp.run algo ~fresh in
-              let sol = Lca_kp.induced_solution algo state in
-              incr total;
-              if Solution.is_feasible (Access.normalized access) sol then incr feasible)
-            seeds)
-        epsilons;
+      let one (epsilon, seed) rng =
+        let inst = Gen.generate family (Rng.create (Int64.of_int seed)) ~n:2000 in
+        let access = Access.of_instance inst in
+        let params = Params.practical ~sample_scale:0.002 epsilon in
+        let algo = Lca_kp.create params access ~seed:(Int64.of_int (17 * seed)) in
+        let state = Lca_kp.run algo ~fresh:rng in
+        let sol = Lca_kp.induced_solution algo state in
+        Solution.is_feasible (Access.normalized access) sol
+      in
+      let outcomes =
+        fanout_array ~jobs ~trials:(Array.length combos) fresh (fun i rng -> one combos.(i) rng)
+      in
+      let total = Array.length outcomes in
+      let feasible = Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 outcomes in
       Tbl.add_row t
         [
           Gen.name family;
-          Tbl.cell_int !total;
-          Tbl.cell_int !feasible;
-          Tbl.cell_pct (float_of_int !feasible /. float_of_int !total);
+          Tbl.cell_int total;
+          Tbl.cell_int feasible;
+          Tbl.cell_pct (float_of_int feasible /. float_of_int total);
         ])
     Gen.all_families;
   Tbl.print t;
@@ -222,7 +259,7 @@ let e5 ~quick () =
 
 (* ------------------------------------------------------------------ E6 *)
 
-let e6 ~quick () =
+let e6 ~quick ~jobs () =
   let t =
     Tbl.create
       ~title:
@@ -249,7 +286,7 @@ let e6 ~quick () =
                 if naive then Baselines.lca_kp_naive params access ~seed:9L
                 else Baselines.lca_kp params access ~seed:9L
               in
-              let r = Consistency.measure lca ~probes ~runs ~fresh in
+              let r = Consistency.measure ?jobs lca ~probes ~runs ~fresh in
               Tbl.add_row t
                 [
                   Gen.name family;
@@ -296,7 +333,7 @@ let e7_dists =
     };
   ]
 
-let e7 ~quick () =
+let e7 ~quick ~jobs () =
   let t =
     Tbl.create
       ~title:"E7 (Theorem 4.5 / Theorem 2.7): rQuantile reproducibility and accuracy"
@@ -343,8 +380,8 @@ let e7 ~quick () =
                 | _ -> Rmedian.quantile params ~shared ~p sample
               in
               let o =
-                Harness.evaluate ~runs ~shared_seed:4242L ~fresh:(Rng.create 777L) ~sampler
-                  ~algorithm ~accurate:(accurate d ~p)
+                Harness.evaluate ?jobs ~runs ~shared_seed:4242L ~fresh:(Rng.create 777L) ~sampler
+                  ~algorithm ~accurate:(accurate d ~p) ()
               in
               Tbl.add_row t
                 [
@@ -370,7 +407,7 @@ let e7 ~quick () =
 
 (* ------------------------------------------------------------------ E8 *)
 
-let e8 ~quick () =
+let e8 ~quick ~jobs:_ () =
   let t =
     Tbl.create ~title:"E8 (Lemma 4.4, [IKY12]): constant-time OPT value approximation"
       [ "family"; "eps"; "OPT bracket"; "estimate"; "add. error"; "|I~|"; "samples"; "|err|<=6eps" ]
@@ -406,7 +443,7 @@ let e8 ~quick () =
 
 (* ------------------------------------------------------------------ E9 *)
 
-let e9 ~quick () =
+let e9 ~quick ~jobs:_ () =
   let t1 =
     Tbl.create ~title:"E9a (Lemma 4.10): per-query samples vs instance size n (eps = 0.2)"
       [ "n"; "samples/query (measured)"; "log* driven theory (formula)" ]
@@ -472,7 +509,7 @@ let e9 ~quick () =
 
 (* ----------------------------------------------------------------- E11 *)
 
-let e11 ~quick () =
+let e11 ~quick ~jobs:_ () =
   let t =
     Tbl.create
       ~title:
@@ -566,7 +603,7 @@ let e11 ~quick () =
 
 (* ----------------------------------------------------------------- E12 *)
 
-let e12 ~quick () =
+let e12 ~quick ~jobs:_ () =
   let t =
     Tbl.create
       ~title:
@@ -628,15 +665,20 @@ let all_experiments =
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e11", e11); ("e12", e12);
   ]
 
-let run_selected names quick =
+let run_selected names quick jobs =
   Lk_util.Log_setup.init ();
+  (match jobs with
+  | Some j when j < 1 ->
+      Printf.eprintf "--jobs must be >= 1 (got %d)\n" j;
+      exit 2
+  | _ -> ());
   let names = if names = [] || names = [ "all" ] then List.map fst all_experiments else names in
   List.iter
     (fun name ->
       match List.assoc_opt name all_experiments with
       | Some f ->
           Printf.printf "\n";
-          f ~quick ()
+          f ~quick ~jobs ()
       | None ->
           Printf.eprintf "unknown experiment %S (known: %s, all)\n" name
             (String.concat ", " (List.map fst all_experiments));
@@ -653,10 +695,20 @@ let quick_arg =
   let doc = "Reduced trial counts and sizes (CI-friendly)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Fan the trial loops out over $(docv) domains using the deterministic engine \
+     (lib/parallel).  Output is bitwise identical for every $(docv) >= 1; omitting the \
+     flag keeps the legacy serial loops (the historical EXPERIMENTS.md streams)."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"K" ~doc)
+
 let cmd =
   let doc = "Regenerate the LCA-for-Knapsack reproduction experiments (EXPERIMENTS.md)" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const (fun names quick -> run_selected names quick) $ names_arg $ quick_arg)
+    Term.(
+      const (fun names quick jobs -> run_selected names quick jobs)
+      $ names_arg $ quick_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

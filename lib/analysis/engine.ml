@@ -8,6 +8,8 @@ let rules =
     (Rule_layering.id, "lib/*/dune dependency outside the layering DAG");
     (Rule_oracle.id,
      "direct Instance item access above the oracle layer");
+    (Rule_parallel.id,
+     "Domain/Atomic/Mutex/... usage outside lib/parallel");
     ("allowlist", "malformed or stale lint.allow entries") ]
 
 let read_file path =
@@ -49,7 +51,8 @@ let token_rules_for file =
   let in_lib = starts_with "lib/" file in
   let in_bin = starts_with "bin/" file in
   List.concat
-    [ (if in_lib || in_bin then [ Rule_determinism.check ] else []);
+    [ (if in_lib || in_bin then [ Rule_determinism.check; Rule_parallel.check ]
+       else []);
       (if in_lib then [ Rule_iteration.check; Rule_float_eq.check ] else []);
       (if in_lib then [ Rule_oracle.check ] else []) ]
 

@@ -1,16 +1,19 @@
 let id = "layering"
 
 (* The dependency DAG of the reproduction, as layers:
-     lk_util -> lk_stats -> lk_knapsack -> lk_oracle
+     lk_util -> lk_stats -> lk_knapsack -> lk_oracle -> lk_parallel
               -> {lk_repro, lk_workloads} -> {lk_lca, lk_lcakp}
               -> {lk_baselines, lk_hardness, lk_ext}
    Each library may depend only on the listed lk_* libraries; external
    non-lk dependencies are unconstrained here.  In particular the LCA
    layers (lk_lcakp, lk_lca) must not see lk_workloads: an LCA that can
-   name its workload generator can cheat the oracle model. *)
+   name its workload generator can cheat the oracle model.  lk_parallel
+   sits just above the oracle layer: the trial engine merges per-trial
+   oracle counters, and every repetition harness above it may fan out. *)
 let foundation = [ "lk_util"; "lk_stats"; "lk_knapsack" ]
 let oracle_side = foundation @ [ "lk_oracle" ]
-let lca_side = oracle_side @ [ "lk_repro" ]
+let parallel_side = oracle_side @ [ "lk_parallel" ]
+let lca_side = parallel_side @ [ "lk_repro" ]
 let top = lca_side @ [ "lk_lca"; "lk_lcakp"; "lk_workloads" ]
 
 let allowed : (string * string list) list =
@@ -20,7 +23,8 @@ let allowed : (string * string list) list =
     ("lk_knapsack", [ "lk_util"; "lk_stats" ]);
     ("lk_oracle", foundation);
     ("lk_workloads", foundation);
-    ("lk_repro", oracle_side);
+    ("lk_parallel", oracle_side);
+    ("lk_repro", parallel_side);
     ("lk_lca", lca_side);
     ("lk_lcakp", lca_side);
     ("lk_baselines", top);
@@ -148,8 +152,9 @@ let check_dune ~path ~content =
                               (Printf.sprintf
                                  "illegal dependency %s -> %s: the layering \
                                   DAG (lk_util -> lk_stats -> lk_knapsack \
-                                  -> lk_oracle -> {lk_repro, lk_workloads} \
-                                  -> {lk_lca, lk_lcakp} -> top) forbids it"
+                                  -> lk_oracle -> lk_parallel -> {lk_repro, \
+                                  lk_workloads} -> {lk_lca, lk_lcakp} -> \
+                                  top) forbids it"
                                  name d)))))
 
 let check_files files =

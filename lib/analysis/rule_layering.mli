@@ -2,7 +2,7 @@
     [(libraries ...)] stanzas of every [lib/*/dune] file:
 
     {v
-    lk_util -> lk_stats -> lk_knapsack -> lk_oracle
+    lk_util -> lk_stats -> lk_knapsack -> lk_oracle -> lk_parallel
             -> {lk_repro, lk_workloads} -> {lk_lca, lk_lcakp}
             -> {lk_baselines, lk_hardness, lk_ext}
     v}

@@ -1,0 +1,56 @@
+let id = "parallelism-discipline"
+
+(* Shared-memory parallelism primitives live in lib/parallel only: the
+   engine there is the one place that may spawn domains or share mutable
+   state, because it is the one place that enforces the determinism
+   contract (index-derived streams, index-ordered merge).  A [Domain.spawn]
+   or ad-hoc [Atomic] anywhere else can reintroduce schedule-dependent
+   output that no test would reliably catch. *)
+let exempt_dir = "lib/parallel/"
+
+let banned_modules =
+  [ "Domain"; "Atomic"; "Mutex"; "Condition"; "Semaphore"; "Thread";
+    "Effect" ]
+
+let strip_stdlib name =
+  match String.length name with
+  | l when l > 7 && String.sub name 0 7 = "Stdlib." -> String.sub name 7 (l - 7)
+  | _ -> name
+
+(* A token trips the rule when, after stripping an optional [Stdlib.]
+   qualifier, it *is* a banned module name or starts with one followed by a
+   dot.  Dotted names rooted elsewhere (e.g. [Lk_repro.Domain.size],
+   [Lk_parallel.Engine.run]) never match: the project-local [Domain] module
+   in lib/reproducible is a quantile domain, not [Stdlib.Domain], and using
+   the engine is exactly what this rule steers code toward. *)
+let hit name =
+  let name = strip_stdlib name in
+  List.exists
+    (fun m ->
+      name = m
+      || (String.length name > String.length m
+          && String.sub name 0 (String.length m) = m
+          && name.[String.length m] = '.'))
+    banned_modules
+
+let applies_to file =
+  not
+    (String.length file >= String.length exempt_dir
+    && String.sub file 0 (String.length exempt_dir) = exempt_dir)
+
+let check ~file tokens =
+  if not (applies_to file) then []
+  else
+    Array.to_list tokens
+    |> List.filter_map (fun (t : Tokenizer.token) ->
+           if t.Tokenizer.kind = Tokenizer.Ident && hit t.Tokenizer.text then
+             Some
+               (Finding.make ~rule:id ~file ~line:t.Tokenizer.line
+                  ~col:t.Tokenizer.col
+                  (Printf.sprintf
+                     "'%s' uses a shared-memory parallelism primitive \
+                      outside lib/parallel; run trials through \
+                      Lk_parallel.Engine (or allowlist with a \
+                      justification)"
+                     t.Tokenizer.text))
+           else None)

@@ -1,0 +1,10 @@
+(** Rule [parallelism-discipline]: confine shared-memory parallelism
+    primitives ([Domain], [Atomic], [Mutex], [Condition], [Semaphore],
+    [Thread], [Effect]) to [lib/parallel], where the deterministic trial
+    engine owns the concurrency contract.  Scope: [lib/] and [bin/]
+    sources outside [lib/parallel/].  References to the project-local
+    [Lk_repro.Domain] (the quantile domain) do not match when qualified;
+    unqualified uses inside lib/reproducible are vetted in [lint.allow]. *)
+
+val id : string
+val check : file:string -> Tokenizer.token array -> Finding.t list

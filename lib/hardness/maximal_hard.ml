@@ -47,19 +47,19 @@ let canonical_answer h ~seed ~budget k =
     | None -> (true, spent)
   end
 
+let play_one ~n ~budget ~trial rng =
+  let h = draw rng ~n in
+  let seed = Int64.of_int (trial * 7919) in
+  let ans_i, _ = canonical_answer h ~seed ~budget h.i in
+  let ans_j, _ = canonical_answer h ~seed ~budget h.j in
+  if h.light_j then ans_i && ans_j
+  else (ans_i && not ans_j) || ((not ans_i) && ans_j)
+
 let play ~n ~budget ~trials rng =
   if trials <= 0 then invalid_arg "Maximal_hard.play: trials must be positive";
   let wins = ref 0 in
   for t = 1 to trials do
-    let h = draw rng ~n in
-    let seed = Int64.of_int (t * 7919) in
-    let ans_i, _ = canonical_answer h ~seed ~budget h.i in
-    let ans_j, _ = canonical_answer h ~seed ~budget h.j in
-    let consistent =
-      if h.light_j then ans_i && ans_j
-      else (ans_i && not ans_j) || ((not ans_i) && ans_j)
-    in
-    if consistent then incr wins
+    if play_one ~n ~budget ~trial:t rng then incr wins
   done;
   float_of_int !wins /. float_of_int trials
 

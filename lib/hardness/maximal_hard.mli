@@ -35,8 +35,14 @@ val instance : hidden -> Lk_knapsack.Instance.t
     number of weight queries spent. *)
 val canonical_answer : hidden -> seed:int64 -> budget:int -> int -> bool * int
 
+(** [play_one ~n ~budget ~trial rng] — one round of the two-query game:
+    draw a hidden instance from [rng], answer both special queries under
+    the round's shared seed (derived from the 1-based [trial] number), and
+    report consistency. *)
+val play_one : n:int -> budget:int -> trial:int -> Lk_util.Rng.t -> bool
+
 (** [play ~n ~budget ~trials rng] — empirical success probability of the
-    two-query game. *)
+    two-query game: the serial loop over {!play_one}. *)
 val play : n:int -> budget:int -> trials:int -> Lk_util.Rng.t -> float
 
 (** Closed-form approximation 1/2 + r/2 with r = (budget−1)/(n−1): the

@@ -48,13 +48,17 @@ let budgeted_lca_answer t ~budget ~rng =
   let found_one = List.exists (fun i -> (query_item t i).Item.profit = 1.) picks in
   not found_one
 
+let trial kind ~n ~budget rng =
+  if n < 2 then invalid_arg "Reduction.trial: need n >= 2";
+  let input = Or_game.draw rng (n - 1) in
+  let t = make kind input in
+  let answer = budgeted_lca_answer t ~budget ~rng in
+  answer = last_item_in_solution t
+
 let measured_success kind ~n ~budget ~trials rng =
   if n < 2 then invalid_arg "Reduction.measured_success: need n >= 2";
   let wins = ref 0 in
   for _ = 1 to trials do
-    let input = Or_game.draw rng (n - 1) in
-    let t = make kind input in
-    let answer = budgeted_lca_answer t ~budget ~rng in
-    if answer = last_item_in_solution t then incr wins
+    if trial kind ~n ~budget rng then incr wins
   done;
   float_of_int !wins /. float_of_int trials

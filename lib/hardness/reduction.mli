@@ -59,8 +59,15 @@ val materialize : t -> Lk_knapsack.Instance.t
     in [t]. *)
 val budgeted_lca_answer : t -> budget:int -> rng:Lk_util.Rng.t -> bool
 
+(** [trial kind ~n ~budget rng] — one independent round of the game: draw a
+    hidden input, run {!budgeted_lca_answer}, and report whether the answer
+    was correct.  All randomness comes from [rng], so the parallel engine
+    can run trials on index-derived streams. *)
+val trial : kind -> n:int -> budget:int -> Lk_util.Rng.t -> bool
+
 (** [measured_success kind ~n ~budget ~trials rng] — empirical success of
     {!budgeted_lca_answer} at deciding the single LCA query over the hard
-    input distribution (n items, i.e. |x| = n−1). *)
+    input distribution (n items, i.e. |x| = n−1): the serial loop over
+    {!trial} sharing one stream. *)
 val measured_success :
   kind -> n:int -> budget:int -> trials:int -> Lk_util.Rng.t -> float

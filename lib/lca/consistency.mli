@@ -20,7 +20,14 @@ type report = {
   mean_samples_per_run : float;
 }
 
+(** [measure ?jobs lca ~probes ~runs ~fresh] runs the LCA [runs] times and
+    scores agreement.  Without [jobs] the legacy serial path threads
+    [fresh] through all runs in sequence.  With [jobs] the runs fan out on
+    {!Lk_parallel.Engine} — run [i] uses the index-derived stream
+    [Rng.split_at fresh i] and results merge in run order, so the report is
+    bitwise identical for every [jobs] value (including [~jobs:1]). *)
 val measure :
+  ?jobs:int ->
   Lca.t -> probes:int array -> runs:int -> fresh:Lk_util.Rng.t -> report
 
 (** [order_oblivious lca ~probes ~fresh] checks Definition 2.4 on one run:

@@ -30,6 +30,14 @@ let of_instance ?(sampling = `Profit) inst =
 
 let sampling t = t.sampling
 
+let with_counters t counters =
+  {
+    t with
+    counters;
+    query_oracle = Query_oracle.with_counters t.query_oracle counters;
+    weighted = Weighted_oracle.with_counters t.weighted counters;
+  }
+
 let normalized t = t.normalized
 let profit_scale t = t.profit_scale
 let size t = Lk_knapsack.Instance.size t.normalized

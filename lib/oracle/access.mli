@@ -23,6 +23,13 @@ val of_instance : ?sampling:sampling -> Lk_knapsack.Instance.t -> t
 (** The sampling mode this access was built with. *)
 val sampling : t -> sampling
 
+(** [with_counters t counters] is a view of [t] that shares the normalized
+    instance and the one-time alias table but charges every access to
+    [counters].  The parallel trial engine hands each concurrent trial its
+    own counter set through this, so query accounting stays exact (no lost
+    increments) and merges deterministically. *)
+val with_counters : t -> Counters.t -> t
+
 (** The normalized instance backing the oracles.  Experiments may read it
     directly (e.g. to compute OPT); algorithms under measurement must go
     through {!query} / {!sample}. *)

@@ -11,6 +11,13 @@ let reset t =
   t.index_queries <- 0;
   t.weighted_samples <- 0
 
+let add ~into t =
+  into.index_queries <- into.index_queries + t.index_queries;
+  into.weighted_samples <- into.weighted_samples + t.weighted_samples
+
+let equal a b =
+  a.index_queries = b.index_queries && a.weighted_samples = b.weighted_samples
+
 let delta f t =
   let q0 = t.index_queries and s0 = t.weighted_samples in
   let result = f () in

@@ -22,6 +22,15 @@ val charge_index_query : t -> unit
 val charge_weighted_sample : t -> unit
 val reset : t -> unit
 
+(** [add ~into t] accumulates [t]'s charges into [into] ([t] unchanged).
+    Integer addition is associative and commutative, but merge order is
+    still fixed (trial-index order) wherever the parallel engine uses it,
+    so merged totals are invariant to the domain count. *)
+val add : into:t -> t -> unit
+
+(** Structural equality of the two charge totals. *)
+val equal : t -> t -> bool
+
 (** [delta f t] runs [f ()] and returns its result together with the
     [(index_queries, weighted_samples)] consumed during the call. *)
 val delta : (unit -> 'a) -> t -> 'a * (int * int)

@@ -23,6 +23,7 @@ let size t = t.n
 let capacity t = t.capacity
 let counters t = t.counters
 let with_budget t budget = { t with budget = Some budget; used = 0 }
+let with_counters t counters = { t with counters; used = 0 }
 
 let item t i =
   if i < 0 || i >= t.n then invalid_arg "Query_oracle.item: index out of range";

@@ -27,6 +27,11 @@ exception Budget_exhausted
     charged through the view. *)
 val with_budget : t -> int -> t
 
+(** [with_counters t counters] returns a view of [t] sharing the backing
+    store but charging [counters] instead; used by the parallel engine to
+    give each concurrent trial its own exact, race-free accounting. *)
+val with_counters : t -> Counters.t -> t
+
 (** [item t i] reveals item [i], charging one query.  Raises
     [Invalid_argument] when [i] is out of range. *)
 val item : t -> int -> Lk_knapsack.Item.t

@@ -14,6 +14,7 @@ let of_instance ~counters instance =
 
 let size t = Lk_knapsack.Instance.size t.instance
 let counters t = t.counters
+let with_counters t counters = { t with counters }
 
 let sample t rng =
   Counters.charge_weighted_sample t.counters;

@@ -22,6 +22,10 @@ val size : t -> int
 
 val counters : t -> Counters.t
 
+(** [with_counters t counters] shares the (expensive) alias table but
+    charges [counters] instead; see {!Query_oracle.with_counters}. *)
+val with_counters : t -> Counters.t -> t
+
 (** [sample t rng] draws one item: [(index, item)], charging one sample. *)
 val sample : t -> Lk_util.Rng.t -> int * Lk_knapsack.Item.t
 

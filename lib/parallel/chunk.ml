@@ -1,0 +1,13 @@
+let default_chunks_per_job = 4
+
+let size ~trials ~jobs =
+  if trials <= 0 then 1
+  else if jobs <= 1 then trials
+  else max 1 (trials / (jobs * default_chunks_per_job))
+
+let ranges ~trials ~chunk =
+  if trials < 0 then invalid_arg "Chunk.ranges: trials must be non-negative";
+  if chunk <= 0 then invalid_arg "Chunk.ranges: chunk must be positive";
+  List.init
+    ((trials + chunk - 1) / chunk)
+    (fun c -> (c * chunk, min trials ((c + 1) * chunk)))

@@ -1,0 +1,21 @@
+(** Deterministic chunking of a trial range.
+
+    The engine hands out contiguous chunks of trial indices to worker
+    domains.  Chunking affects only *scheduling*: every trial's randomness
+    is derived from its index, and results are merged in index order, so
+    the chunk size can be tuned freely without changing any output. *)
+
+(** How many chunks per worker {!size} aims for: small enough to balance
+    load when trial costs vary, large enough to amortize dispatch. *)
+val default_chunks_per_job : int
+
+(** [size ~trials ~jobs] is the default chunk size: about
+    [default_chunks_per_job] chunks per worker, at least 1, and the whole
+    range when [jobs <= 1]. *)
+val size : trials:int -> jobs:int -> int
+
+(** [ranges ~trials ~chunk] partitions [0, trials) into half-open
+    [(start, stop)] intervals of width [chunk] (the last may be shorter),
+    in increasing order.  [ranges ~trials:0 ~chunk] is [[]].  Raises
+    [Invalid_argument] if [trials < 0] or [chunk <= 0]. *)
+val ranges : trials:int -> chunk:int -> (int * int) list

@@ -1,0 +1,82 @@
+module Rng = Lk_util.Rng
+module Counters = Lk_oracle.Counters
+
+let available_domains () = max 1 (Domain.recommended_domain_count ())
+
+let resolve_jobs ~trials = function
+  | None -> min (available_domains ()) (max 1 trials)
+  | Some j when j < 1 -> invalid_arg "Engine.run: jobs must be >= 1"
+  | Some j -> min j (max 1 trials)
+
+(* The determinism contract, in three parts:
+   1. trial [i] computes with [Rng.split_at base i] — its stream depends
+      only on [base] and [i], never on which domain runs it or when;
+   2. each result is written to slot [i] of a pre-sized array — no two
+      domains touch the same slot, and the merge is the identity on
+      index order;
+   3. the only cross-domain mutable state is the chunk dispenser (an
+      [Atomic] next-chunk cursor), which affects scheduling but not values.
+   Hence output is a function of (base, trials, f) alone: bitwise identical
+   for every [jobs], including the serial [jobs = 1] path. *)
+let run ?jobs ?chunk ~base ~trials f =
+  if trials < 0 then invalid_arg "Engine.run: trials must be non-negative";
+  let jobs = resolve_jobs ~trials jobs in
+  let trial i = f ~index:i ~rng:(Rng.split_at base i) in
+  if jobs = 1 then begin
+    (* Serial fast path: same per-trial streams, no domain machinery. *)
+    let results = ref [] in
+    for i = trials - 1 downto 0 do
+      results := trial i :: !results
+    done;
+    Array.of_list !results
+  end
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Engine.run: chunk must be >= 1"
+      | None -> Chunk.size ~trials ~jobs
+    in
+    let ranges = Array.of_list (Chunk.ranges ~trials ~chunk) in
+    let results = Array.make trials None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < Array.length ranges then begin
+          let start, stop = ranges.(c) in
+          for i = start to stop - 1 do
+            results.(i) <- Some (trial i)
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.map
+      (function Some v -> v | None -> assert false (* every slot filled *))
+      results
+  end
+
+let run_counted ?jobs ?chunk ~base ~trials f =
+  if trials < 0 then invalid_arg "Engine.run_counted: trials must be non-negative";
+  let per_trial = Array.init trials (fun _ -> Counters.create ()) in
+  let results =
+    run ?jobs ?chunk ~base ~trials (fun ~index ~rng ->
+        f ~index ~rng ~counters:per_trial.(index))
+  in
+  let merged = Counters.create () in
+  (* Trial-index order: the merge is deterministic by construction, not by
+     appeal to commutativity. *)
+  Array.iter (fun c -> Counters.add ~into:merged c) per_trial;
+  (results, merged)
+
+let mean_of ?jobs ?chunk ~base ~trials f =
+  if trials <= 0 then invalid_arg "Engine.mean_of: trials must be positive";
+  let values = run ?jobs ?chunk ~base ~trials f in
+  (* Left-to-right summation in index order, so the float result is
+     bitwise identical for every domain count. *)
+  Array.fold_left ( +. ) 0. values /. float_of_int trials

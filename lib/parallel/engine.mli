@@ -1,0 +1,62 @@
+(** Deterministic multicore fan-out over independent trials.
+
+    Every empirical claim in this reproduction is an average over
+    independent trials, and the LCA model itself (Definition 2.2, after
+    [RTVX11]) is a set of parallel queries sharing one read-only random
+    seed.  This engine runs [trials] independent computations across a pool
+    of OCaml 5 [Domain]s with exactly that shape:
+
+    - trial [i] receives its own SplitMix64 stream, [Rng.split_at base i],
+      derived by index from the shared base generator;
+    - chunks of the index range are handed to domains dynamically (an
+      atomic cursor), which balances load but cannot influence values;
+    - results are merged in trial-index order into an array.
+
+    The output is therefore {b bitwise identical} for every [jobs] value —
+    [run ~jobs:1] and [run ~jobs:64] return the same array — and the serial
+    path is just [jobs = 1].  Trial functions must draw randomness only
+    from the [rng] they are given and must not write shared state; oracle
+    query accounting under this contract goes through {!run_counted}. *)
+
+(** Worker pool size the hardware suggests ([Domain.recommended_domain_count]),
+    at least 1. *)
+val available_domains : unit -> int
+
+(** [run ?jobs ?chunk ~base ~trials f] computes
+    [[| f ~index:0 ~rng:r0; ...; f ~index:(trials-1) ~rng:r_(trials-1) |]]
+    where [r_i = Rng.split_at base i].  [base] is not perturbed.  [jobs]
+    defaults to {!available_domains} and is clamped to [trials]; [chunk]
+    defaults to {!Chunk.size}.  Raises [Invalid_argument] on [jobs < 1],
+    [chunk < 1], or [trials < 0]. *)
+val run :
+  ?jobs:int ->
+  ?chunk:int ->
+  base:Lk_util.Rng.t ->
+  trials:int ->
+  (index:int -> rng:Lk_util.Rng.t -> 'a) ->
+  'a array
+
+(** [run_counted] is {!run} for trial functions that charge oracle
+    accesses: trial [i] gets a private {!Lk_oracle.Counters.t} (pair it
+    with {!Lk_oracle.Access.with_counters}), so concurrent trials never
+    race on counter increments, and the per-trial counters are merged in
+    index order at the barrier.  Returns the results together with the
+    merged totals — exact and invariant to the domain count. *)
+val run_counted :
+  ?jobs:int ->
+  ?chunk:int ->
+  base:Lk_util.Rng.t ->
+  trials:int ->
+  (index:int -> rng:Lk_util.Rng.t -> counters:Lk_oracle.Counters.t -> 'a) ->
+  'a array * Lk_oracle.Counters.t
+
+(** [mean_of ?jobs ?chunk ~base ~trials f] averages a float-valued trial,
+    summing in index order (bitwise identical across [jobs]).  Raises
+    [Invalid_argument] if [trials <= 0]. *)
+val mean_of :
+  ?jobs:int ->
+  ?chunk:int ->
+  base:Lk_util.Rng.t ->
+  trials:int ->
+  (index:int -> rng:Lk_util.Rng.t -> float) ->
+  float

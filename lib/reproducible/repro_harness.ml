@@ -8,13 +8,22 @@ type outcome = {
   accuracy_rate : float;
 }
 
-let evaluate ~runs ~shared_seed ~fresh ~sampler ~algorithm ~accurate =
+let evaluate ?jobs ~runs ~shared_seed ~fresh ~sampler ~algorithm ~accurate () =
   if runs < 2 then invalid_arg "Repro_harness.evaluate: need at least 2 runs";
+  let one_run rng =
+    let sample = sampler rng in
+    let shared = Rng.create shared_seed in
+    algorithm ~shared sample
+  in
   let outputs =
-    Array.init runs (fun _ ->
-        let sample = sampler fresh in
-        let shared = Rng.create shared_seed in
-        algorithm ~shared sample)
+    match jobs with
+    | None -> Array.init runs (fun _ -> one_run fresh)
+    | Some jobs ->
+        (* Engine path: each run samples from its own index-derived stream;
+           the shared randomness is re-derived from [shared_seed] inside
+           every run either way, exactly as Definition 2.5 prescribes. *)
+        Lk_parallel.Engine.run ~jobs ~base:fresh ~trials:runs
+          (fun ~index:_ ~rng -> one_run rng)
   in
   let freq = Hashtbl.create 16 in
   Array.iter

@@ -17,15 +17,21 @@ type outcome = {
   accuracy_rate : float;
 }
 
-(** [evaluate ~runs ~shared_seed ~fresh ~sampler ~algorithm ~accurate]
+(** [evaluate ?jobs ~runs ~shared_seed ~fresh ~sampler ~algorithm ~accurate ()]
     draws a fresh sample with [sampler] per run, executes
     [algorithm ~shared sample] with a shared generator re-derived from
-    [shared_seed] each time, and scores outputs with [accurate]. *)
+    [shared_seed] each time, and scores outputs with [accurate].  Without
+    [jobs] the legacy serial path threads [fresh] through all runs; with
+    [jobs] runs fan out on {!Lk_parallel.Engine} with index-derived fresh
+    streams ([Rng.split_at fresh i]) and the outcome is bitwise identical
+    for every [jobs] value. *)
 val evaluate :
+  ?jobs:int ->
   runs:int ->
   shared_seed:int64 ->
   fresh:Lk_util.Rng.t ->
   sampler:(Lk_util.Rng.t -> int array) ->
   algorithm:(shared:Lk_util.Rng.t -> int array -> int) ->
   accurate:(int -> bool) ->
+  unit ->
   outcome

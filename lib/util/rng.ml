@@ -18,6 +18,13 @@ let int64 t =
 
 let split t = create (int64 t)
 
+let split_at t i =
+  if i < 0 then invalid_arg "Rng.split_at: index must be non-negative";
+  (* The i-th child is the generator [split] would produce after advancing
+     a *copy* of [t] by [i] steps: the parent's state is never touched, so
+     any number of children can be derived concurrently and reproducibly. *)
+  create (mix64 (Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1)))))
+
 let of_path seed labels =
   let hash_label acc label =
     let h = ref acc in

@@ -24,6 +24,16 @@ val copy : t -> t
     independent (in the SplitMix64 sense) of the remainder of [t]'s. *)
 val split : t -> t
 
+(** [split_at t i] derives the [i]-th child generator from [t]'s *current*
+    state without perturbing [t]: [split_at t i] equals the generator that
+    [split] would return after advancing a copy of [t] by [i] steps.
+    Distinct indices yield independent (in the SplitMix64 sense) streams,
+    and the same [(t, i)] always yields the same stream — this is the basis
+    for per-trial randomness in {!Lk_parallel.Engine}, where trial [i] must
+    see the same stream no matter which domain runs it.  Raises
+    [Invalid_argument] if [i < 0]. *)
+val split_at : t -> int -> t
+
 (** [of_path seed labels] derives a generator deterministically from a base
     seed and a list of string labels, e.g. [of_path r ["rquantile"; "k=3"]].
     Used to give each shared-randomness consumer its own stream, so that two

@@ -7,6 +7,7 @@ module Feq = Lk_analysis.Rule_float_eq
 module Mli = Lk_analysis.Rule_mli
 module Layer = Lk_analysis.Rule_layering
 module Oracle = Lk_analysis.Rule_oracle
+module Par = Lk_analysis.Rule_parallel
 module Engine = Lk_analysis.Engine
 
 let rules_of findings = List.map (fun f -> f.F.rule) findings
@@ -178,6 +179,35 @@ let test_oracle_discipline () =
     (Oracle.check ~file:"lib/lca/x.ml" meta)
 
 (* ------------------------------------------------------------------ *)
+(* parallelism-discipline *)
+
+let test_parallelism_positive () =
+  let bad =
+    T.tokenize
+      "let d = Domain.spawn f\n\
+       let c = Atomic.make 0\n\
+       let m = Stdlib.Mutex.create ()\n"
+  in
+  check_rules "primitives flagged in lib"
+    [ "parallelism-discipline"; "parallelism-discipline"; "parallelism-discipline" ]
+    (Par.check ~file:"lib/lca/x.ml" bad);
+  check_rules "and in bin" [ "parallelism-discipline" ]
+    (Par.check ~file:"bin/experiments.ml" (T.tokenize "let d = Domain.spawn f\n"))
+
+let test_parallelism_negative () =
+  let bad = T.tokenize "let d = Domain.spawn f\nlet c = Atomic.make 0\n" in
+  check_rules "lib/parallel itself is exempt" []
+    (Par.check ~file:"lib/parallel/engine.ml" bad);
+  let benign =
+    T.tokenize
+      "let s = Lk_repro.Domain.size d\n\
+       let r = Lk_parallel.Engine.run ~jobs ~base ~trials f\n\
+       let w = domain_width\n"
+  in
+  check_rules "qualified quantile Domain, engine calls, substrings all fine" []
+    (Par.check ~file:"lib/lca/x.ml" benign)
+
+(* ------------------------------------------------------------------ *)
 (* allowlist *)
 
 let test_allowlist_round_trip () =
@@ -294,6 +324,11 @@ let () =
         ] );
       ( "oracle-discipline",
         [ Alcotest.test_case "scoped accessor ban" `Quick test_oracle_discipline ] );
+      ( "parallelism-discipline",
+        [
+          Alcotest.test_case "positive" `Quick test_parallelism_positive;
+          Alcotest.test_case "negative" `Quick test_parallelism_negative;
+        ] );
       ( "allowlist",
         [
           Alcotest.test_case "round trip" `Quick test_allowlist_round_trip;

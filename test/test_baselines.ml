@@ -70,6 +70,47 @@ let test_naive_wrapper_uses_naive_quantiles () =
   Alcotest.(check bool) "feasible" true
     (Solution.is_feasible (Access.normalized access) (Lazy.force run.Lca.solution))
 
+(* ---------- QCheck properties ---------- *)
+
+let workload_arb =
+  let families = [| Gen.Uniform; Gen.Few_large; Gen.Garbage_mix; Gen.Heavy_tail |] in
+  QCheck.make
+    ~print:(fun (f, seed, n) -> Printf.sprintf "%s seed=%d n=%d" (Gen.name families.(f)) seed n)
+    QCheck.Gen.(
+      let* family = int_range 0 (Array.length families - 1) in
+      let* seed = int_range 0 10_000 in
+      let* n = int_range 2 300 in
+      return (family, seed, n))
+
+let generate (f, seed, n) =
+  let families = [| Gen.Uniform; Gen.Few_large; Gen.Garbage_mix; Gen.Heavy_tail |] in
+  Access.of_instance (Gen.generate families.(f) (Rng.create (Int64.of_int seed)) ~n)
+
+let prop_full_read_equals_greedy =
+  QCheck.Test.make ~name:"full-read baseline = greedy half-approx" ~count:40 workload_arb
+    (fun w ->
+      let access = generate w in
+      let run = (Baselines.full_read access).Lca.fresh_run (Rng.create 1L) in
+      Solution.equal
+        (Greedy.half_approx (Access.normalized access))
+        (Lazy.force run.Lca.solution))
+
+let prop_trivial_free_and_empty =
+  QCheck.Test.make ~name:"trivial baseline: zero samples, empty solution" ~count:40
+    workload_arb (fun w ->
+      let access = generate w in
+      let run = (Baselines.trivial access).Lca.fresh_run (Rng.create 2L) in
+      run.Lca.samples_used = 0 && Solution.equal Solution.empty (Lazy.force run.Lca.solution))
+
+let prop_lca_kp_wrapper_feasible =
+  QCheck.Test.make ~name:"lca-kp wrapper induces a feasible solution" ~count:10 workload_arb
+    (fun (f, seed, n) ->
+      let access = generate (f, seed, 200 + n) in
+      let params = Params.practical ~sample_scale:0.05 0.2 in
+      let lca = Baselines.lca_kp params access ~seed:(Int64.of_int (seed + 1)) in
+      let run = lca.Lca.fresh_run (Rng.create (Int64.of_int seed)) in
+      Solution.is_feasible (Access.normalized access) (Lazy.force run.Lca.solution))
+
 let () =
   Alcotest.run "baselines"
     [
@@ -81,5 +122,11 @@ let () =
           Alcotest.test_case "full-read consistent" `Quick test_full_read_perfectly_consistent;
           Alcotest.test_case "lca-kp wrapper" `Quick test_lca_kp_wrapper_roundtrip;
           Alcotest.test_case "naive wrapper" `Quick test_naive_wrapper_uses_naive_quantiles;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_full_read_equals_greedy;
+          QCheck_alcotest.to_alcotest prop_trivial_free_and_empty;
+          QCheck_alcotest.to_alcotest prop_lca_kp_wrapper_feasible;
         ] );
     ]

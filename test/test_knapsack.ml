@@ -340,6 +340,48 @@ let prop_fractional_upper_bounds_opt =
       let fi = Int_instance.to_float inst in
       Greedy.fractional_value fi >= float_of_int (Exact_dp.value inst) -. 1e-9)
 
+let prop_profit_dp_agrees =
+  QCheck.Test.make ~name:"dp-by-weight = dp-by-profit (value and witness)" ~count:150
+    int_instance_arb (fun inst ->
+      let v, sol = Exact_dp.solve_by_profit inst in
+      let fi = Int_instance.to_float inst in
+      v = Exact_dp.value inst
+      && Solution.is_feasible fi sol
+      && abs_float (Solution.profit fi sol -. float_of_int v) < 1e-9)
+
+let prop_fptas_guarantee =
+  QCheck.Test.make ~name:"fptas: feasible, within [(1-eps)OPT, OPT]" ~count:100
+    int_instance_arb (fun inst ->
+      let fi = Int_instance.to_float inst in
+      let opt = float_of_int (Exact_dp.value inst) in
+      List.for_all
+        (fun epsilon ->
+          let v, sol = Fptas.solve ~epsilon fi in
+          Solution.is_feasible fi sol
+          && v >= ((1. -. epsilon) *. opt) -. 1e-9
+          && v <= opt +. 1e-9)
+        [ 0.5; 0.1 ])
+
+(* The classic 1/2 bound assumes every item fits alone: weights <= 10 and
+   capacity >= 10 guarantee the precondition. *)
+let fits_alone_arb =
+  QCheck.make
+    ~print:(fun (i : Int_instance.t) ->
+      Printf.sprintf "n=%d cap=%d" (Int_instance.size i) i.Int_instance.capacity)
+    QCheck.Gen.(
+      let* n = int_range 1 14 in
+      let* profits = array_repeat n (int_range 0 30) in
+      let* weights = array_repeat n (int_range 0 10) in
+      let* capacity = int_range 10 40 in
+      return (Int_instance.make ~profits ~weights ~capacity))
+
+let prop_greedy_half_bound =
+  QCheck.Test.make ~name:"greedy half-approx >= OPT/2 when every item fits" ~count:150
+    fits_alone_arb (fun inst ->
+      let fi = Int_instance.to_float inst in
+      Solution.profit fi (Greedy.half_approx fi)
+      >= (float_of_int (Exact_dp.value inst) /. 2.) -. 1e-9)
+
 let () =
   Alcotest.run "knapsack"
     [
@@ -405,5 +447,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_greedy_prefix_feasible;
           QCheck_alcotest.to_alcotest prop_skip_greedy_maximal;
           QCheck_alcotest.to_alcotest prop_fractional_upper_bounds_opt;
+          QCheck_alcotest.to_alcotest prop_profit_dp_agrees;
+          QCheck_alcotest.to_alcotest prop_fptas_guarantee;
+          QCheck_alcotest.to_alcotest prop_greedy_half_bound;
         ] );
     ]

@@ -1,0 +1,267 @@
+(* Tests for lib/parallel: the deterministic multicore trial engine.
+
+   The contract under test (DESIGN.md §8): for every [jobs] and [chunk],
+   the engine returns exactly the serial fan-out
+   [| f ~index:i ~rng:(Rng.split_at base i) |] — merged counters included —
+   so each experiment family is regression-checked at jobs 1/2/4. *)
+
+module Rng = Lk_util.Rng
+module Chunk = Lk_parallel.Chunk
+module Engine = Lk_parallel.Engine
+module Counters = Lk_oracle.Counters
+module Access = Lk_oracle.Access
+module Gen = Lk_workloads.Gen
+module Reduction = Lk_hardness.Reduction
+module Maximal_hard = Lk_hardness.Maximal_hard
+module Params = Lk_lcakp.Params
+module Lca_kp = Lk_lcakp.Lca_kp
+module Solution = Lk_knapsack.Solution
+module Baselines = Lk_baselines.Baselines
+module Consistency = Lk_lca.Consistency
+module Harness = Lk_repro.Repro_harness
+
+let jobs_grid = [ 1; 2; 4 ]
+
+(* The reference the engine must reproduce bit-for-bit. *)
+let serial ~base ~trials f =
+  Array.init trials (fun i -> f ~index:i ~rng:(Rng.split_at base i))
+
+(* ---------- Chunk ---------- *)
+
+let test_chunk_size () =
+  Alcotest.(check int) "jobs<=1 takes whole range" 100 (Chunk.size ~trials:100 ~jobs:1);
+  Alcotest.(check int) "~4 chunks per job" 6 (Chunk.size ~trials:100 ~jobs:4);
+  Alcotest.(check int) "at least 1" 1 (Chunk.size ~trials:3 ~jobs:8);
+  Alcotest.(check int) "empty range" 1 (Chunk.size ~trials:0 ~jobs:4)
+
+let test_chunk_ranges () =
+  Alcotest.(check (list (pair int int)))
+    "partition" [ (0, 4); (4, 8); (8, 10) ]
+    (Chunk.ranges ~trials:10 ~chunk:4);
+  Alcotest.(check (list (pair int int))) "empty" [] (Chunk.ranges ~trials:0 ~chunk:4);
+  Alcotest.check_raises "bad chunk" (Invalid_argument "Chunk.ranges: chunk must be positive")
+    (fun () -> ignore (Chunk.ranges ~trials:5 ~chunk:0));
+  Alcotest.check_raises "bad trials"
+    (Invalid_argument "Chunk.ranges: trials must be non-negative") (fun () ->
+      ignore (Chunk.ranges ~trials:(-1) ~chunk:2))
+
+(* ---------- Engine basics ---------- *)
+
+let test_engine_edge_cases () =
+  let base = Rng.create 1L in
+  Alcotest.(check int) "trials=0 is empty" 0
+    (Array.length (Engine.run ~jobs:4 ~base ~trials:0 (fun ~index ~rng:_ -> index)));
+  Alcotest.(check (array int)) "jobs > trials is fine" [| 0; 1 |]
+    (Engine.run ~jobs:16 ~base ~trials:2 (fun ~index ~rng:_ -> index));
+  Alcotest.check_raises "jobs=0" (Invalid_argument "Engine.run: jobs must be >= 1") (fun () ->
+      ignore (Engine.run ~jobs:0 ~base ~trials:3 (fun ~index ~rng:_ -> index)));
+  Alcotest.check_raises "negative trials"
+    (Invalid_argument "Engine.run: trials must be non-negative") (fun () ->
+      ignore (Engine.run ~jobs:2 ~base ~trials:(-1) (fun ~index ~rng:_ -> index)));
+  Alcotest.check_raises "bad chunk" (Invalid_argument "Engine.run: chunk must be >= 1")
+    (fun () -> ignore (Engine.run ~jobs:2 ~chunk:0 ~base ~trials:3 (fun ~index ~rng:_ -> index)));
+  Alcotest.check_raises "mean of nothing"
+    (Invalid_argument "Engine.mean_of: trials must be positive") (fun () ->
+      ignore (Engine.mean_of ~jobs:2 ~base ~trials:0 (fun ~index:_ ~rng:_ -> 0.)))
+
+let test_engine_base_unperturbed () =
+  let base = Rng.create 5L in
+  let expected = Rng.int64 (Rng.copy base) in
+  ignore (Engine.run ~jobs:4 ~base ~trials:100 (fun ~index:_ ~rng -> Rng.int64 rng));
+  Alcotest.(check int64) "base untouched by the fan-out" expected (Rng.int64 base)
+
+(* ---------- Determinism regressions, one per experiment family ---------- *)
+
+(* Hardness family (E1/E2): OR-game reduction trials. *)
+let test_jobs_invariant_hardness () =
+  let expected =
+    serial ~base:(Rng.create 101L) ~trials:60 (fun ~index:_ ~rng ->
+        Reduction.trial Reduction.Exact ~n:128 ~budget:40 rng)
+  in
+  List.iter
+    (fun jobs ->
+      let got =
+        Engine.run ~jobs ~base:(Rng.create 101L) ~trials:60 (fun ~index:_ ~rng ->
+            Reduction.trial Reduction.Exact ~n:128 ~budget:40 rng)
+      in
+      Alcotest.(check (array bool)) (Printf.sprintf "jobs=%d" jobs) expected got)
+    jobs_grid
+
+(* Hardness family (E3): two-query maximal-feasible game. *)
+let test_jobs_invariant_maximal () =
+  let play ~index ~rng = Maximal_hard.play_one ~n:110 ~budget:10 ~trial:(index + 1) rng in
+  let expected = serial ~base:(Rng.create 303L) ~trials:60 play in
+  List.iter
+    (fun jobs ->
+      let got = Engine.run ~jobs ~base:(Rng.create 303L) ~trials:60 play in
+      Alcotest.(check (array bool)) (Printf.sprintf "jobs=%d" jobs) expected got)
+    jobs_grid
+
+(* LCA family (E4/E5): full LCA-KP runs, with exact query accounting via
+   per-trial counters ([Access.with_counters] + [run_counted]). *)
+let test_jobs_invariant_lca_counted () =
+  let access = Access.of_instance (Gen.generate Gen.Uniform (Rng.create 11L) ~n:600) in
+  let params = Params.practical ~sample_scale:0.02 0.2 in
+  let trial ~index:_ ~rng ~counters =
+    let access = Access.with_counters access counters in
+    let algo = Lca_kp.create params access ~seed:5L in
+    let state = Lca_kp.run algo ~fresh:rng in
+    ( Solution.profit (Access.normalized access) (Lca_kp.induced_solution algo state),
+      Lca_kp.samples_per_query algo state )
+  in
+  let run jobs = Engine.run_counted ~jobs ~base:(Rng.create 404L) ~trials:8 trial in
+  let expected, expected_counters = run 1 in
+  List.iter
+    (fun jobs ->
+      let got, got_counters = run jobs in
+      Alcotest.(check (array (pair (float 0.) int)))
+        (Printf.sprintf "values jobs=%d" jobs)
+        expected got;
+      Alcotest.(check bool)
+        (Printf.sprintf "merged counters jobs=%d" jobs)
+        true
+        (Counters.equal expected_counters got_counters);
+      Alcotest.(check bool) "counters non-trivial" true (Counters.total got_counters > 0))
+    [ 2; 4 ]
+
+(* Repro family (E6): consistency sweeps through [Consistency.measure ?jobs]. *)
+let test_jobs_invariant_consistency () =
+  let access = Access.of_instance (Gen.generate Gen.Uniform (Rng.create 21L) ~n:500) in
+  let params = Params.practical ~sample_scale:0.1 0.2 in
+  let lca = Baselines.lca_kp params access ~seed:9L in
+  let probes = Array.init 10 (fun i -> i * 37) in
+  let measure jobs = Consistency.measure ~jobs lca ~probes ~runs:6 ~fresh:(Rng.create 606L) in
+  let expected = measure 1 in
+  List.iter
+    (fun jobs ->
+      let got = measure jobs in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "mean agreement jobs=%d" jobs)
+        expected.Consistency.mean_query_agreement got.Consistency.mean_query_agreement;
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "solution match jobs=%d" jobs)
+        expected.Consistency.solution_match got.Consistency.solution_match;
+      Alcotest.(check int)
+        (Printf.sprintf "distinct solutions jobs=%d" jobs)
+        expected.Consistency.distinct_solutions got.Consistency.distinct_solutions)
+    [ 2; 4 ]
+
+(* Repro family (E7): rQuantile reproducibility harness with [?jobs]. *)
+let test_jobs_invariant_harness () =
+  let evaluate jobs =
+    Harness.evaluate ~jobs ~runs:12 ~shared_seed:4242L ~fresh:(Rng.create 777L)
+      ~sampler:(fun rng -> Array.init 64 (fun _ -> Rng.int_bound rng 1000))
+      ~algorithm:(fun ~shared sample ->
+        let i = Rng.int_bound shared (Array.length sample) in
+        sample.(i))
+      ~accurate:(fun x -> x >= 0) ()
+  in
+  let expected = evaluate 1 in
+  List.iter
+    (fun jobs ->
+      let got = evaluate jobs in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "pairwise jobs=%d" jobs)
+        expected.Harness.pairwise_agreement got.Harness.pairwise_agreement;
+      Alcotest.(check int)
+        (Printf.sprintf "distinct jobs=%d" jobs)
+        expected.Harness.distinct_outputs got.Harness.distinct_outputs)
+    [ 2; 4 ]
+
+let test_mean_of_matches_serial_sum () =
+  let f ~index ~rng = Rng.float rng +. float_of_int index in
+  let expected =
+    let values = serial ~base:(Rng.create 7L) ~trials:101 f in
+    Array.fold_left ( +. ) 0. values /. 101.
+  in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "bitwise-equal mean jobs=%d" jobs)
+        expected
+        (Engine.mean_of ~jobs ~base:(Rng.create 7L) ~trials:101 f))
+    jobs_grid
+
+(* ---------- QCheck properties ---------- *)
+
+let engine_config_arb =
+  QCheck.make
+    ~print:(fun (seed, trials, jobs, chunk) ->
+      Printf.sprintf "seed=%d trials=%d jobs=%d chunk=%d" seed trials jobs chunk)
+    QCheck.Gen.(
+      let* seed = int_range 0 100_000 in
+      let* trials = int_range 0 200 in
+      let* jobs = int_range 1 8 in
+      let* chunk = int_range 1 50 in
+      return (seed, trials, jobs, chunk))
+
+let prop_engine_equals_serial =
+  QCheck.Test.make ~name:"engine = serial fan-out for every jobs/chunk" ~count:60
+    engine_config_arb (fun (seed, trials, jobs, chunk) ->
+      let f ~index ~rng = (index, Rng.int64 rng, Rng.float rng) in
+      Engine.run ~jobs ~chunk ~base:(Rng.create (Int64.of_int seed)) ~trials f
+      = serial ~base:(Rng.create (Int64.of_int seed)) ~trials f)
+
+let prop_chunk_ranges_partition =
+  QCheck.Test.make ~name:"chunk ranges partition [0, trials) in order" ~count:200
+    QCheck.(pair (int_bound 500) (int_range 1 64))
+    (fun (trials, chunk) ->
+      let ranges = Chunk.ranges ~trials ~chunk in
+      let rec check pos = function
+        | [] -> pos = trials
+        | (start, stop) :: rest ->
+            start = pos && stop > start && stop - start <= chunk
+            && (rest = [] || stop - start = chunk)
+            && check stop rest
+      in
+      check 0 ranges)
+
+let prop_counters_merge_invariant =
+  QCheck.Test.make ~name:"run_counted merges exact totals for every jobs" ~count:40
+    QCheck.(pair (int_bound 1000) (int_range 1 6))
+    (fun (seed, jobs) ->
+      let trials = 12 in
+      let trial ~index ~rng ~counters =
+        (* deterministic per-trial charge pattern, plus rng consumption *)
+        for _ = 0 to index mod 5 do
+          Counters.charge_index_query counters
+        done;
+        for _ = 1 to Rng.int_bound rng 4 do
+          Counters.charge_weighted_sample counters
+        done;
+        index
+      in
+      let base () = Rng.create (Int64.of_int seed) in
+      let r1, c1 = Engine.run_counted ~jobs:1 ~base:(base ()) ~trials trial in
+      let rk, ck = Engine.run_counted ~jobs ~base:(base ()) ~trials trial in
+      r1 = rk && Counters.equal c1 ck)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "chunk",
+        [
+          Alcotest.test_case "size" `Quick test_chunk_size;
+          Alcotest.test_case "ranges" `Quick test_chunk_ranges;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "edge cases" `Quick test_engine_edge_cases;
+          Alcotest.test_case "base unperturbed" `Quick test_engine_base_unperturbed;
+          Alcotest.test_case "mean_of bitwise" `Quick test_mean_of_matches_serial_sum;
+        ] );
+      ( "jobs-invariance",
+        [
+          Alcotest.test_case "hardness trials (E1/E2)" `Quick test_jobs_invariant_hardness;
+          Alcotest.test_case "maximal-hard game (E3)" `Quick test_jobs_invariant_maximal;
+          Alcotest.test_case "lca-kp + counters (E4/E5)" `Slow test_jobs_invariant_lca_counted;
+          Alcotest.test_case "consistency sweep (E6)" `Slow test_jobs_invariant_consistency;
+          Alcotest.test_case "repro harness (E7)" `Quick test_jobs_invariant_harness;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_engine_equals_serial;
+          QCheck_alcotest.to_alcotest prop_chunk_ranges_partition;
+          QCheck_alcotest.to_alcotest prop_counters_merge_invariant;
+        ] );
+    ]

@@ -96,6 +96,7 @@ let evaluate_dist ?(runs = 60) ?(p = 0.5) ~params dist =
     ~sampler:(sampler_of dist n)
     ~algorithm:(fun ~shared sample -> Rmedian.quantile params ~shared ~p sample)
     ~accurate:(is_approx_quantile dist ~p ~tol:(2. *. params.Rmedian.tau))
+    ()
 
 let params_default = { Rmedian.tau = 0.1; rho = 0.15; bits = 32 }
 
@@ -205,6 +206,7 @@ let test_rquantile_padding_reproducible () =
       ~sampler:(sampler_of bimodal_gap n)
       ~algorithm:(fun ~shared sample -> Rquantile.run_via_padding q_params ~shared ~p:0.3 sample)
       ~accurate:(is_approx_quantile bimodal_gap ~p:0.3 ~tol:0.1)
+      ()
   in
   if o.Harness.pairwise_agreement < 0.85 then
     Alcotest.failf "padded reproducibility %.3f too low" o.Harness.pairwise_agreement;
@@ -251,6 +253,7 @@ let test_heavy_hitters_reproducible () =
         List.fold_left (fun acc (v, _) -> acc lor (1 lsl v)) 0
           (Heavy.run params ~shared sample))
       ~accurate:(fun mask -> mask land 0b0110 = 0b0110)
+      ()
   in
   if o.Harness.pairwise_agreement < 0.8 then
     Alcotest.failf "heavy hitters agreement %.3f" o.Harness.pairwise_agreement;
@@ -290,6 +293,7 @@ let test_rmean_reproducible () =
         let floats = Array.map float_of_int sample in
         int_of_float (1e6 *. Rmean.run params ~shared floats))
       ~accurate:(fun micro -> abs_float ((float_of_int micro /. 1e6) -. 0.37) <= 0.05)
+      ()
   in
   if o.Harness.pairwise_agreement < 0.8 then
     Alcotest.failf "rmean agreement %.3f" o.Harness.pairwise_agreement;
@@ -315,6 +319,7 @@ let test_naive_quantile_not_reproducible () =
     Harness.evaluate ~runs:40 ~shared_seed:1L ~fresh:(Rng.create 3L) ~sampler:(sampler_of dist n)
       ~algorithm:naive
       ~accurate:(fun _ -> true)
+      ()
   in
   let r =
     evaluate_dist ~runs:40 ~params:params_default dist

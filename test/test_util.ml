@@ -129,6 +129,49 @@ let test_rng_copy_independent () =
   (* advancing a does not advance b *)
   Alcotest.(check int64) "independent state" (Rng.int64 a) (Rng.int64 (Rng.copy a))
 
+(* ---------- Rng.split_at (index-derived streams for lib/parallel) ---------- *)
+
+let test_split_at_thousand_distinct () =
+  let t = Rng.create 20260806L in
+  let firsts = Array.init 1000 (fun i -> Rng.int64 (Rng.split_at t i)) in
+  let distinct = List.sort_uniq compare (Array.to_list firsts) in
+  Alcotest.(check int) "1000 sibling streams, 1000 distinct first draws" 1000
+    (List.length distinct);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.split_at: index must be non-negative") (fun () ->
+      ignore (Rng.split_at t (-1)))
+
+let prop_split_at_pure =
+  QCheck.Test.make ~name:"split_at: reproducible and parent unperturbed" ~count:200
+    QCheck.(pair int (int_bound 999))
+    (fun (seed, i) ->
+      let t = Rng.create (Int64.of_int seed) in
+      let before = Rng.int64 (Rng.copy t) in
+      let a = Rng.int64 (Rng.split_at t i) in
+      let b = Rng.int64 (Rng.split_at t i) in
+      let after = Rng.int64 (Rng.copy t) in
+      a = b && before = after)
+
+let prop_split_at_matches_split_walk =
+  QCheck.Test.make ~name:"split_at t i = (i+1)-th split of a copy" ~count:200
+    QCheck.(pair int (int_bound 50))
+    (fun (seed, i) ->
+      let t = Rng.create (Int64.of_int seed) in
+      let walker = Rng.copy t in
+      let rec nth k =
+        let child = Rng.split walker in
+        if k = i then child else nth (k + 1)
+      in
+      Rng.int64 (nth 0) = Rng.int64 (Rng.split_at t i))
+
+let prop_split_at_siblings_differ =
+  QCheck.Test.make ~name:"split_at: distinct indices give distinct streams" ~count:200
+    QCheck.(triple int (int_bound 999) (int_bound 999))
+    (fun (seed, i, j) ->
+      QCheck.assume (i <> j);
+      let t = Rng.create (Int64.of_int seed) in
+      Rng.int64 (Rng.split_at t i) <> Rng.int64 (Rng.split_at t j))
+
 let test_kahan_sum () =
   let xs = Array.make 10_000 0.1 in
   Alcotest.(check (float 1e-9)) "compensated" 1000. (Fu.sum xs)
@@ -196,6 +239,13 @@ let () =
           Alcotest.test_case "exponential" `Quick test_rng_exponential;
           Alcotest.test_case "of_path order" `Quick test_rng_of_path_order_sensitive;
           Alcotest.test_case "copy independence" `Quick test_rng_copy_independent;
+        ] );
+      ( "split_at",
+        [
+          Alcotest.test_case "1k siblings distinct" `Quick test_split_at_thousand_distinct;
+          QCheck_alcotest.to_alcotest prop_split_at_pure;
+          QCheck_alcotest.to_alcotest prop_split_at_matches_split_walk;
+          QCheck_alcotest.to_alcotest prop_split_at_siblings_differ;
         ] );
       ( "float_utils",
         [

@@ -1,12 +1,18 @@
-(* Wall-clock benchmark harness (experiment E10 plus one timing bench per
-   experiment family).  Regenerate with: dune exec bench/main.exe
+(* Wall-clock benchmark driver (experiment E10 plus one timing bench per
+   experiment family), a thin CLI over Lk_benchkit.
+
+     dune exec bench/main.exe                      # table to stdout
+     dune exec bench/main.exe -- --out BENCH.json  # also write a result file
+     dune exec bench/main.exe -- --smoke           # tiny quota (CI gate)
 
    The headline measurement: one stateless LCA-KP query costs the same
    regardless of instance size (its cost is the per-run sampling bill,
-   (1/eps)^O(log* n)), while any full-read baseline scales linearly in n. *)
+   (1/eps)^O(log* n)), while any full-read baseline scales linearly in n.
+   Query benches pass ~cache:false so they price the real per-run work;
+   the "(memoized)" bench replays the same rng snapshot every iteration,
+   so after the first miss every run is a cache hit — the PR3 speedup. *)
 
 open Bechamel
-open Toolkit
 
 module Rng = Lk_util.Rng
 module Access = Lk_oracle.Access
@@ -14,6 +20,7 @@ module Gen = Lk_workloads.Gen
 module Params = Lk_lcakp.Params
 module Lca_kp = Lk_lcakp.Lca_kp
 module Rmedian = Lk_repro.Rmedian
+module Benchkit = Lk_benchkit.Benchkit
 
 (* ---- fixtures (built once, outside the timed closures) ---- *)
 
@@ -56,13 +63,21 @@ let lca_query_benches =
   let fresh_10k = Rng.create 1235L
   and fresh_100k = Rng.create 1236L
   and fresh_tight = Rng.create 1237L in
+  let memo_rng = Rng.create 1245L in
+  let memo_snap = Rng.snapshot memo_rng in
   [
     Test.make ~name:"query n=10k eps=0.25"
-      (stage (fun () -> Lca_kp.query algo_10k ~fresh:fresh_10k 17));
+      (stage (fun () -> Lca_kp.query ~cache:false algo_10k ~fresh:fresh_10k 17));
+    Test.make ~name:"query n=10k eps=0.25 (memoized)"
+      (stage (fun () ->
+           (* same entry snapshot every iteration => first run misses,
+              every later run is a cache hit *)
+           Rng.restore memo_rng memo_snap;
+           Lca_kp.query algo_10k ~fresh:memo_rng 17));
     Test.make ~name:"query n=100k eps=0.25"
-      (stage (fun () -> Lca_kp.query algo_100k ~fresh:fresh_100k 17));
+      (stage (fun () -> Lca_kp.query ~cache:false algo_100k ~fresh:fresh_100k 17));
     Test.make ~name:"query n=10k eps=0.15"
-      (stage (fun () -> Lca_kp.query algo_10k_tight ~fresh:fresh_tight 17));
+      (stage (fun () -> Lca_kp.query ~cache:false algo_10k_tight ~fresh:fresh_tight 17));
     Test.make ~name:"answer only (state reused)"
       (stage (fun () -> Lca_kp.answer algo_10k prebuilt_state 17));
   ]
@@ -92,21 +107,46 @@ let tie_ablation_benches =
   let fresh_tie = Rng.create 1238L and fresh_no_tie = Rng.create 1239L in
   [
     Test.make ~name:"query with tie-break (16 bits)"
-      (stage (fun () -> Lca_kp.query algo_10k ~fresh:fresh_tie 17));
+      (stage (fun () -> Lca_kp.query ~cache:false algo_10k ~fresh:fresh_tie 17));
     Test.make ~name:"query paper-verbatim (tie_bits=0)"
-      (stage (fun () -> Lca_kp.query algo_no_tie ~fresh:fresh_no_tie 17));
+      (stage (fun () -> Lca_kp.query ~cache:false algo_no_tie ~fresh:fresh_no_tie 17));
   ]
 
 let solver_benches =
-  let fi =
-    Lk_knapsack.Int_instance.to_float small_int_instance
-  in
+  let fi = Lk_knapsack.Int_instance.to_float small_int_instance in
   [
     Test.make ~name:"branch&bound n=200" (stage (fun () -> Lk_knapsack.Branch_bound.value fi));
     Test.make ~name:"nemhauser-ullmann n=200"
       (stage (fun () -> Lk_knapsack.Nemhauser_ullmann.value fi));
     Test.make ~name:"fptas eps=0.1 n=200"
       (stage (fun () -> Lk_knapsack.Fptas.value ~epsilon:0.1 fi));
+  ]
+
+let kernel_benches =
+  (* PR3 kernels: workspace-reusing DP vs per-call allocation, batched
+     alias sampling vs a sample() loop, and the profit-DP reconstruction
+     (sparse take-store on this instance: sum of profits ~ 100k >> K). *)
+  let ws = Lk_knapsack.Exact_dp.create_workspace () in
+  let fws = Lk_knapsack.Fptas.create_workspace () in
+  let fi = Lk_knapsack.Int_instance.to_float small_int_instance in
+  let fresh_loop = Rng.create 1246L and fresh_batch = Rng.create 1247L in
+  let batch = Array.make 1024 0 in
+  [
+    Test.make ~name:"exact dp solve (fresh alloc) n=200"
+      (stage (fun () -> Lk_knapsack.Exact_dp.solve small_int_instance));
+    Test.make ~name:"exact dp solve (workspace) n=200"
+      (stage (fun () -> Lk_knapsack.Exact_dp.solve_in ws small_int_instance));
+    Test.make ~name:"fptas solve (workspace) eps=0.1 n=200"
+      (stage (fun () -> Lk_knapsack.Fptas.solve_in fws ~epsilon:0.1 fi));
+    Test.make ~name:"profit-dp reconstruction n=200"
+      (stage (fun () -> Lk_knapsack.Exact_dp.solve_by_profit small_int_instance));
+    Test.make ~name:"alias sample x1024 (loop)"
+      (stage (fun () ->
+           for _ = 1 to 1024 do
+             ignore (Lk_stats.Alias.sample alias fresh_loop)
+           done));
+    Test.make ~name:"alias sample x1024 (batched)"
+      (stage (fun () -> Lk_stats.Alias.sample_many_into alias fresh_batch batch));
   ]
 
 let extension_benches =
@@ -154,39 +194,44 @@ let grouped =
       Test.make_grouped ~name:"E7-reproducible" repro_benches;
       Test.make_grouped ~name:"ablation-tie-bits" tie_ablation_benches;
       Test.make_grouped ~name:"exact-solvers" solver_benches;
+      Test.make_grouped ~name:"P2-kernels" kernel_benches;
       Test.make_grouped ~name:"E11-extensions" extension_benches;
       Test.make_grouped ~name:"substrates" substrate_benches;
     ]
 
+(* ---- driver ---- *)
+
+let usage = "main [--quota SECONDS] [--limit N] [--label STR] [--out FILE] [--smoke]"
+
 let () =
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.8) ~kde:None ~stabilize:false () in
-  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
-  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
-  let t =
-    Lk_util.Tbl.create ~title:"E10: wall-clock (monotonic clock, OLS ns/run)"
-      [ "bench"; "time/run"; "r^2" ]
-  in
-  let pretty ns =
-    if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
-    else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
-    else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
-    else Printf.sprintf "%.1f ns" ns
-  in
-  List.iter
-    (fun (name, o) ->
-      let estimate =
-        match Analyze.OLS.estimates o with Some (e :: _) -> pretty e | _ -> "n/a"
-      in
-      let r2 =
-        match Analyze.OLS.r_square o with Some r -> Printf.sprintf "%.3f" r | None -> "-"
-      in
-      Lk_util.Tbl.add_row t [ name; estimate; r2 ])
-    rows;
-  Lk_util.Tbl.print t;
-  print_endline
-    "\nReading: LCA-KP query time is flat from n=10k to n=100k (sublinearity, Theorem 4.1)\n\
-     while the full-read baseline scales with n; rQuantile costs one extra sort-sized pass\n\
-     over the naive quantile."
+  let quota = ref Benchkit.default_quota_s in
+  let limit = ref Benchkit.default_limit in
+  let label = ref "E10: wall-clock" in
+  let out = ref "" in
+  let smoke = ref false in
+  Arg.parse
+    [
+      ("--quota", Arg.Set_float quota, "SECONDS  per-bench time quota (default 0.8)");
+      ("--limit", Arg.Set_int limit, "N  per-bench iteration cap (default 300)");
+      ("--label", Arg.Set_string label, "STR  label recorded in the result file");
+      ("--out", Arg.Set_string out, "FILE  also write results as JSON");
+      ( "--smoke",
+        Arg.Set smoke,
+        "  tiny quota/limit: exercises the whole pipeline, numbers are noise" );
+    ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    usage;
+  if !smoke then begin
+    quota := 0.01;
+    limit := 8;
+    label := !label ^ " (smoke)"
+  end;
+  let file = Benchkit.measure ~limit:!limit ~quota_s:!quota ~label:!label grouped in
+  print_string (Benchkit.render_table file);
+  if !out <> "" then Benchkit.save !out file;
+  if not !smoke then
+    print_endline
+      "\nReading: LCA-KP query time is flat from n=10k to n=100k (sublinearity, Theorem 4.1)\n\
+       while the full-read baseline scales with n; the (memoized) query replays a cached\n\
+       run state, so it prices MAPPING-GREEDY plus one index query only; rQuantile costs\n\
+       one extra sort-sized pass over the naive quantile."

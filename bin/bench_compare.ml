@@ -1,0 +1,52 @@
+(* Regression gate over two BENCH json files (schema lca-knapsack-bench/1).
+
+     bench_compare [--threshold FRAC] baseline.json candidate.json
+
+   Exit status: 0 when no common bench regressed by more than the
+   threshold (default 0.15 = 15%), 1 on regression, 2 on bad invocation or
+   unreadable/invalid input. *)
+
+let usage = "bench_compare [--threshold FRAC] baseline.json candidate.json"
+
+let () =
+  let threshold = ref 0.15 in
+  let positional = ref [] in
+  let spec =
+    [
+      ( "--threshold",
+        Arg.Set_float threshold,
+        "FRAC  fail when candidate/baseline > 1 + FRAC (default 0.15)" );
+    ]
+  in
+  Arg.parse spec (fun a -> positional := a :: !positional) usage;
+  match List.rev !positional with
+  | [ baseline_path; candidate_path ] -> (
+      if !threshold < 0. then begin
+        prerr_endline "bench_compare: threshold must be >= 0";
+        exit 2
+      end;
+      let load role path =
+        match Lk_benchkit.Benchkit.load path with
+        | Ok f -> f
+        | Error msg ->
+            Printf.eprintf "bench_compare: cannot load %s file %s: %s\n" role path msg;
+            exit 2
+      in
+      let baseline = load "baseline" baseline_path in
+      let candidate = load "candidate" candidate_path in
+      let cmp =
+        Lk_benchkit.Benchkit.compare_files ~threshold:!threshold ~baseline ~candidate
+      in
+      print_string (Lk_benchkit.Benchkit.render_comparison ~threshold:!threshold cmp);
+      match cmp.Lk_benchkit.Benchkit.regressions with
+      | [] ->
+          Printf.printf "OK: no bench regressed by more than %.0f%%\n"
+            (!threshold *. 100.);
+          exit 0
+      | regs ->
+          Printf.printf "FAIL: %d bench(es) regressed by more than %.0f%%\n"
+            (List.length regs) (!threshold *. 100.);
+          exit 1)
+  | _ ->
+      prerr_endline usage;
+      exit 2

@@ -665,7 +665,7 @@ let all_experiments =
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e11", e11); ("e12", e12);
   ]
 
-let run_selected names quick jobs =
+let run_selected names quick jobs time =
   Lk_util.Log_setup.init ();
   (match jobs with
   | Some j when j < 1 ->
@@ -678,7 +678,13 @@ let run_selected names quick jobs =
       match List.assoc_opt name all_experiments with
       | Some f ->
           Printf.printf "\n";
-          f ~quick ~jobs ()
+          if time then begin
+            (* stderr only: stdout (the EXPERIMENTS.md tables) must stay a
+               function of the seeds alone, byte for byte *)
+            let (), ns = Lk_benchkit.Stopwatch.time (fun () -> f ~quick ~jobs ()) in
+            Printf.eprintf "[time] %-4s %s\n%!" name (Tbl.cell_ns ns)
+          end
+          else f ~quick ~jobs ()
       | None ->
           Printf.eprintf "unknown experiment %S (known: %s, all)\n" name
             (String.concat ", " (List.map fst all_experiments));
@@ -703,12 +709,20 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"K" ~doc)
 
+let time_arg =
+  let doc =
+    "Report each experiment's wall-clock time on stderr (via \
+     Lk_benchkit.Stopwatch).  Stdout is unaffected, so piped table output \
+     stays byte-identical with or without the flag."
+  in
+  Arg.(value & flag & info [ "time" ] ~doc)
+
 let cmd =
   let doc = "Regenerate the LCA-for-Knapsack reproduction experiments (EXPERIMENTS.md)" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
     Term.(
-      const (fun names quick jobs -> run_selected names quick jobs)
-      $ names_arg $ quick_arg $ jobs_arg)
+      const (fun names quick jobs time -> run_selected names quick jobs time)
+      $ names_arg $ quick_arg $ jobs_arg $ time_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -10,6 +10,8 @@ let rules =
      "direct Instance item access above the oracle layer");
     (Rule_parallel.id,
      "Domain/Atomic/Mutex/... usage outside lib/parallel");
+    (Rule_timing.id,
+     "Monotonic_clock/Mtime/Bechamel clock reads outside lib/benchkit");
     ("allowlist", "malformed or stale lint.allow entries") ]
 
 let read_file path =
@@ -51,7 +53,8 @@ let token_rules_for file =
   let in_lib = starts_with "lib/" file in
   let in_bin = starts_with "bin/" file in
   List.concat
-    [ (if in_lib || in_bin then [ Rule_determinism.check; Rule_parallel.check ]
+    [ (if in_lib || in_bin then
+         [ Rule_determinism.check; Rule_parallel.check; Rule_timing.check ]
        else []);
       (if in_lib then [ Rule_iteration.check; Rule_float_eq.check ] else []);
       (if in_lib then [ Rule_oracle.check ] else []) ]

@@ -19,6 +19,7 @@ let top = lca_side @ [ "lk_lca"; "lk_lcakp"; "lk_workloads" ]
 let allowed : (string * string list) list =
   [ ("lk_util", []);
     ("lk_analysis", []);
+    ("lk_benchkit", [ "lk_util" ]);
     ("lk_stats", [ "lk_util" ]);
     ("lk_knapsack", [ "lk_util"; "lk_stats" ]);
     ("lk_oracle", foundation);

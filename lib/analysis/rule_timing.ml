@@ -1,0 +1,52 @@
+let id = "timing-discipline"
+
+(* Clock reads live in lib/benchkit (and the unlinted bench/ harness)
+   only.  Lk_benchkit.Stopwatch is the vetted wrapper: timing obtained
+   through it is observational by construction — printed, never branched
+   on — so experiment output stays a function of the seed.  A raw
+   monotonic-clock or bechamel call anywhere else is either dead weight or
+   a determinism leak waiting to happen.  (Sys.time / Unix.gettimeofday
+   are already banned everywhere by the determinism rule; this rule covers
+   the monotonic side.) *)
+let exempt_dir = "lib/benchkit/"
+
+let banned_modules = [ "Monotonic_clock"; "Mtime"; "Bechamel" ]
+
+let strip_stdlib name =
+  match String.length name with
+  | l when l > 7 && String.sub name 0 7 = "Stdlib." -> String.sub name 7 (l - 7)
+  | _ -> name
+
+(* Same matching discipline as the parallelism rule: a token trips when it
+   *is* a banned module or starts with one followed by a dot; dotted names
+   rooted elsewhere never match. *)
+let hit name =
+  let name = strip_stdlib name in
+  List.exists
+    (fun m ->
+      name = m
+      || (String.length name > String.length m
+          && String.sub name 0 (String.length m) = m
+          && name.[String.length m] = '.'))
+    banned_modules
+
+let applies_to file =
+  not
+    (String.length file >= String.length exempt_dir
+    && String.sub file 0 (String.length exempt_dir) = exempt_dir)
+
+let check ~file tokens =
+  if not (applies_to file) then []
+  else
+    Array.to_list tokens
+    |> List.filter_map (fun (t : Tokenizer.token) ->
+           if t.Tokenizer.kind = Tokenizer.Ident && hit t.Tokenizer.text then
+             Some
+               (Finding.make ~rule:id ~file ~line:t.Tokenizer.line
+                  ~col:t.Tokenizer.col
+                  (Printf.sprintf
+                     "'%s' reads a clock outside lib/benchkit; time through \
+                      Lk_benchkit.Stopwatch (observational only) or move \
+                      the measurement into bench/"
+                     t.Tokenizer.text))
+           else None)

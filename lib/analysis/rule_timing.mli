@@ -1,0 +1,9 @@
+(** Rule [timing-discipline]: confine clock reads ([Monotonic_clock],
+    [Mtime], any direct [Bechamel] use) to [lib/benchkit], whose
+    [Stopwatch] is the vetted observational-timing wrapper (the [bench/]
+    harness is outside the linted tree).  Scope: [lib/] and [bin/]
+    sources outside [lib/benchkit/].  Wall-clock calls such as [Sys.time]
+    are banned separately by the determinism rule. *)
+
+val id : string
+val check : file:string -> Tokenizer.token array -> Finding.t list

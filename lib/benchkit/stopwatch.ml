@@ -1,0 +1,11 @@
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+type t = { start : float }
+
+let start () = { start = now_ns () }
+let elapsed_ns t = now_ns () -. t.start
+
+let time f =
+  let sw = start () in
+  let result = f () in
+  (result, elapsed_ns sw)

@@ -1,0 +1,17 @@
+(** The project's only timing primitive outside [bench/].
+
+    Wraps bechamel's monotonic clock so wall-clock reads stay in one
+    vetted place: the [timing-discipline] lint rule bans clock calls
+    everywhere in [lib/] and [bin/] except this library, and callers that
+    need a duration (e.g. [bin/experiments --time]) go through here.
+    Timing is observational only — nothing algorithmic may branch on it,
+    or determinism across machines dies. *)
+
+type t
+
+val start : unit -> t
+val elapsed_ns : t -> float
+
+(** [time f] runs [f ()] and returns its result with the elapsed
+    nanoseconds. *)
+val time : (unit -> 'a) -> 'a * float

@@ -12,7 +12,20 @@
       nothing but [r] (parallelizability);
     - {!run} exposes a single run's intermediate state so experiments can
       inspect Ĩ, count samples, and materialize the induced solution via
-      MAPPING-GREEDY. *)
+      MAPPING-GREEDY.
+
+    {2 Run-state memoization}
+
+    A run is a pure function of [(params, seed, access, fresh-rng state)],
+    so {!query} memoizes run states in a deterministic cache keyed by
+    [(Params.digest, seed, Rng.snapshot fresh)].  A hit replays the run's
+    observable effects exactly — it fast-forwards [fresh] to the state the
+    real run would leave it in and re-charges the run's full oracle sample
+    bill to the access counters — so answers, downstream RNG streams, and
+    query accounting are all bit-identical with the cache on or off; only
+    wall-clock changes.  Hits/misses are recorded on
+    {!Lk_oracle.Counters} as separate (non-charged) bookkeeping, and
+    [~cache:false] bypasses the cache entirely. *)
 
 type t
 
@@ -21,21 +34,31 @@ type state = {
   decision : Convert_greedy.decision;
 }
 
-val create : Params.t -> Lk_oracle.Access.t -> seed:int64 -> t
+(** [create ?cache_size params access ~seed] — [cache_size] bounds the
+    number of memoized run states (FIFO eviction; default 64; 0 disables
+    memoization for this instance altogether). *)
+val create : ?cache_size:int -> Params.t -> Lk_oracle.Access.t -> seed:int64 -> t
+
 val params : t -> Params.t
 val access : t -> Lk_oracle.Access.t
 
-(** One stateless run of lines 1–19 (sampling + Ĩ + CONVERT-GREEDY). *)
+(** One stateless run of lines 1–19 (sampling + Ĩ + CONVERT-GREEDY).
+    Never consults the cache: experiments that measure the per-run
+    sampling bill use this directly. *)
 val run : t -> fresh:Lk_util.Rng.t -> state
 
 (** [answer t state i] — lines 20–24: reveal item [i] (one index query) and
     apply the decision rule. *)
 val answer : t -> state -> int -> bool
 
-(** [query t ~fresh i] — the LCA proper: a fresh stateless run followed by
+(** [query ?cache t ~fresh i] — the LCA proper: a stateless run followed by
     {!answer}.  Cost: [Tilde.samples_used] weighted samples + 1 index
-    query. *)
-val query : t -> fresh:Lk_util.Rng.t -> int -> bool
+    query (charged identically whether the run is recomputed or replayed
+    from the cache).  [cache] defaults to [true]. *)
+val query : ?cache:bool -> t -> fresh:Lk_util.Rng.t -> int -> bool
+
+(** [(hits, misses)] recorded so far on this instance's access counters. *)
+val cache_stats : t -> int * int
 
 (** The full solution C the given run answers according to
     (MAPPING-GREEDY over the normalized instance). *)

@@ -1,0 +1,38 @@
+type t = {
+  mutable ints : int array;
+  mutable floats : float array;
+  mutable rows : Bytes.t array;
+}
+
+let create () = { ints = [||]; floats = [||]; rows = [||] }
+
+let ints t len ~fill =
+  if Array.length t.ints < len then t.ints <- Array.make len fill
+  else Array.fill t.ints 0 len fill;
+  t.ints
+
+let floats t len ~fill =
+  if Array.length t.floats < len then t.floats <- Array.make len fill
+  else Array.fill t.floats 0 len fill;
+  t.floats
+
+let rows t ~count ~bytes =
+  if Array.length t.rows < count then begin
+    let old = t.rows in
+    t.rows <-
+      Array.init count (fun i ->
+          if i < Array.length old then old.(i) else Bytes.empty)
+  end;
+  for i = 0 to count - 1 do
+    if Bytes.length t.rows.(i) < bytes then t.rows.(i) <- Bytes.make bytes '\000'
+    else Bytes.fill t.rows.(i) 0 bytes '\000'
+  done;
+  t.rows
+
+let set_bit row c =
+  let byte = c / 8 and bit = c mod 8 in
+  Bytes.set row byte (Char.chr (Char.code (Bytes.get row byte) lor (1 lsl bit)))
+
+let get_bit row c =
+  let byte = c / 8 and bit = c mod 8 in
+  Char.code (Bytes.get row byte) land (1 lsl bit) <> 0

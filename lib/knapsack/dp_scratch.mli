@@ -1,0 +1,31 @@
+(** Reusable scratch buffers for the table-based solvers ({!Exact_dp},
+    {!Fptas}).
+
+    A scratch only ever grows; each acquisition re-initializes exactly the
+    prefix the caller asked for, so a solver run computing in a recycled
+    scratch is bitwise identical to one allocating fresh arrays — the
+    differential property tests pin the two paths equal.  Not thread-safe:
+    one scratch per domain (the parallel engine's per-trial closures each
+    build their own). *)
+
+type t
+
+val create : unit -> t
+
+(** [ints t len ~fill] returns an int array of length >= [len] whose first
+    [len] cells are [fill].  The same underlying array is returned on every
+    call, growing as needed. *)
+val ints : t -> int -> fill:int -> int array
+
+(** [floats t len ~fill] — float counterpart of {!ints}. *)
+val floats : t -> int -> fill:float -> float array
+
+(** [rows t ~count ~bytes] returns an array of >= [count] byte rows, the
+    first [count] of which are >= [bytes] long and zeroed — the
+    reconstruction bit-matrix of the DP solvers. *)
+val rows : t -> count:int -> bytes:int -> Bytes.t array
+
+(** Bit accessors over a row, little-endian within each byte. *)
+val set_bit : Bytes.t -> int -> unit
+
+val get_bit : Bytes.t -> int -> bool

@@ -1,23 +1,22 @@
-let solve (inst : Int_instance.t) =
+type workspace = Dp_scratch.t
+
+let create_workspace = Dp_scratch.create
+let set_bit = Dp_scratch.set_bit
+let get_bit = Dp_scratch.get_bit
+
+let solve_in ws (inst : Int_instance.t) =
   let n = Int_instance.size inst and k = inst.capacity in
-  let dp = Array.make (k + 1) 0 in
+  let dp = Dp_scratch.ints ws (k + 1) ~fill:0 in
   (* take.(i) is a bitmap over capacities: did item i improve dp at c? *)
-  let take = Array.init n (fun _ -> Bytes.make ((k / 8) + 1) '\000') in
-  let set_bit row c =
-    let byte = c / 8 and bit = c mod 8 in
-    Bytes.set row byte (Char.chr (Char.code (Bytes.get row byte) lor (1 lsl bit)))
-  in
-  let get_bit row c =
-    let byte = c / 8 and bit = c mod 8 in
-    Char.code (Bytes.get row byte) land (1 lsl bit) <> 0
-  in
+  let take = Dp_scratch.rows ws ~count:n ~bytes:((k / 8) + 1) in
   for i = 0 to n - 1 do
     let w = inst.weights.(i) and p = inst.profits.(i) in
+    let row = take.(i) in
     for c = k downto w do
       let candidate = dp.(c - w) + p in
       if candidate > dp.(c) then begin
         dp.(c) <- candidate;
-        set_bit take.(i) c
+        set_bit row c
       end
     done
   done;
@@ -29,9 +28,11 @@ let solve (inst : Int_instance.t) =
   in
   (dp.(k), Solution.of_indices (rebuild (n - 1) k []))
 
-let value (inst : Int_instance.t) =
+let solve inst = solve_in (create_workspace ()) inst
+
+let value_in ws (inst : Int_instance.t) =
   let k = inst.capacity in
-  let dp = Array.make (k + 1) 0 in
+  let dp = Dp_scratch.ints ws (k + 1) ~fill:0 in
   for i = 0 to Int_instance.size inst - 1 do
     let w = inst.weights.(i) and p = inst.profits.(i) in
     for c = k downto w do
@@ -40,54 +41,90 @@ let value (inst : Int_instance.t) =
   done;
   dp.(k)
 
-let min_weight_per_profit (inst : Int_instance.t) =
-  let n = Int_instance.size inst in
-  let total_profit = Array.fold_left ( + ) 0 inst.profits in
-  let table = Array.make (total_profit + 1) max_int in
-  table.(0) <- 0;
-  for i = 0 to n - 1 do
-    let w = inst.weights.(i) and p = inst.profits.(i) in
-    for v = total_profit downto p do
-      if table.(v - p) <> max_int && table.(v - p) + w < table.(v) then
-        table.(v) <- table.(v - p) + w
-    done
-  done;
-  let best = ref 0 in
-  for v = 0 to total_profit do
-    if table.(v) <= inst.capacity then best := v
-  done;
-  (table, !best)
+let value inst = value_in (create_workspace ()) inst
 
-let solve_by_profit (inst : Int_instance.t) =
+(* The profit-indexed DP.  [table.(v)] is the minimum weight achieving
+   profit exactly [v]; entries only ever decrease, so the largest feasible
+   profit can be tracked *inside* the update loop — once [table.(v)]
+   crosses the capacity it stays below it, and we catch the crossing at the
+   update that causes it.  No O(Σp) closing scan. *)
+let min_weight_table (inst : Int_instance.t) ~on_take =
   let n = Int_instance.size inst in
   let total_profit = Array.fold_left ( + ) 0 inst.profits in
-  (* keep.(i).(v): item i achieves profit v by being taken. Reconstructed
-     forward DP with per-item rows; memory n * total_profit bits. *)
   let table = Array.make (total_profit + 1) max_int in
   table.(0) <- 0;
-  let take = Array.init n (fun _ -> Bytes.make ((total_profit / 8) + 1) '\000') in
-  let set_bit row v =
-    Bytes.set row (v / 8)
-      (Char.chr (Char.code (Bytes.get row (v / 8)) lor (1 lsl (v mod 8))))
-  in
-  let get_bit row v = Char.code (Bytes.get row (v / 8)) land (1 lsl (v mod 8)) <> 0 in
+  let best = ref 0 in
   for i = 0 to n - 1 do
     let w = inst.weights.(i) and p = inst.profits.(i) in
     for v = total_profit downto p do
       if table.(v - p) <> max_int && table.(v - p) + w < table.(v) then begin
         table.(v) <- table.(v - p) + w;
-        set_bit take.(i) v
+        if table.(v) <= inst.capacity && v > !best then best := v;
+        on_take i v
       end
     done
   done;
-  let best = ref 0 in
-  for v = 0 to total_profit do
-    if table.(v) <= inst.capacity then best := v
-  done;
+  (table, !best)
+
+let min_weight_per_profit inst = min_weight_table inst ~on_take:(fun _ _ -> ())
+
+(* Reconstruction storage for [solve_by_profit].  The dense bit-matrix
+   costs n·Σp bits regardless of how sparse the updates are; when Σp ≫ K
+   the matrix dominates the solver's footprint while holding almost only
+   zeros.  The sparse backend instead records, per item, the ascending
+   profit levels at which the item's update won — exactly the set bits of
+   the dense row, i.e. the undominated (profit, weight-improvement) points
+   — and answers rebuild-time membership by binary search. *)
+type take_store =
+  | Dense of Bytes.t array
+  | Sparse of int array array
+
+let dense_matrix_bytes ~n ~total_profit = n * ((total_profit / 8) + 1)
+
+(* Switch to sparse storage once the dense matrix would cross 1 MiB: below
+   that the flat Bytes rows are both smaller and faster to probe, above it
+   they are Σp-driven dead weight.  Purely size-driven, hence
+   deterministic. *)
+let sparse_threshold_bytes = 1 lsl 20
+
+let solve_by_profit (inst : Int_instance.t) =
+  let n = Int_instance.size inst in
+  let total_profit = Array.fold_left ( + ) 0 inst.profits in
+  let dense = dense_matrix_bytes ~n ~total_profit <= sparse_threshold_bytes in
+  let dense_rows =
+    if dense then Array.init n (fun _ -> Bytes.make ((total_profit / 8) + 1) '\000')
+    else [||]
+  in
+  let sparse_acc = Array.make (if dense then 0 else n) [] in
+  let on_take =
+    if dense then fun i v -> set_bit dense_rows.(i) v
+    else
+      (* The inner DP loop visits v in decreasing order, so consing builds
+         each item's winning levels already sorted ascending. *)
+      fun i v -> sparse_acc.(i) <- v :: sparse_acc.(i)
+  in
+  let _, best = min_weight_table inst ~on_take in
+  let store =
+    if dense then Dense dense_rows else Sparse (Array.map Array.of_list sparse_acc)
+  in
+  let mem_sorted a v =
+    let lo = ref 0 and hi = ref (Array.length a - 1) and found = ref false in
+    while (not !found) && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let x = Array.unsafe_get a mid in
+      if x = v then found := true else if x < v then lo := mid + 1 else hi := mid - 1
+    done;
+    !found
+  in
+  let took i v =
+    match store with
+    | Dense rows -> get_bit rows.(i) v
+    | Sparse levels -> mem_sorted levels.(i) v
+  in
   let rec rebuild i v acc =
     if i < 0 then acc
-    else if v >= inst.profits.(i) && get_bit take.(i) v then
+    else if v >= inst.profits.(i) && took i v then
       rebuild (i - 1) (v - inst.profits.(i)) (i :: acc)
     else rebuild (i - 1) v acc
   in
-  (!best, Solution.of_indices (rebuild (n - 1) !best []))
+  (best, Solution.of_indices (rebuild (n - 1) best []))

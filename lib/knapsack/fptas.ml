@@ -1,4 +1,8 @@
-let solve ~epsilon instance =
+type workspace = Dp_scratch.t
+
+let create_workspace = Dp_scratch.create
+
+let solve_in ws ~epsilon instance =
   if epsilon <= 0. || epsilon >= 1. then invalid_arg "Fptas.solve: epsilon must be in (0, 1)";
   let n = Instance.size instance in
   let k = Instance.capacity instance in
@@ -23,30 +27,27 @@ let solve ~epsilon instance =
       let scaled = Array.init m (fun i -> int_of_float (floor (profit i /. mu))) in
       let total = Array.fold_left ( + ) 0 scaled in
       (* min-weight to achieve each scaled profit, with reconstruction. *)
-      let table = Array.make (total + 1) infinity in
+      let table = Dp_scratch.floats ws (total + 1) ~fill:infinity in
       table.(0) <- 0.;
-      let take = Array.init m (fun _ -> Bytes.make ((total / 8) + 1) '\000') in
-      let set_bit row v =
-        Bytes.set row (v / 8)
-          (Char.chr (Char.code (Bytes.get row (v / 8)) lor (1 lsl (v mod 8))))
-      in
-      let get_bit row v = Char.code (Bytes.get row (v / 8)) land (1 lsl (v mod 8)) <> 0 in
+      let take = Dp_scratch.rows ws ~count:m ~bytes:((total / 8) + 1) in
+      (* Entries only ever decrease, so the best feasible scaled profit is
+         tracked at the update that first dips under the capacity — same
+         running-best device as Exact_dp.min_weight_per_profit. *)
+      let best = ref 0 in
       for i = 0 to m - 1 do
         let p = scaled.(i) and w = weight i in
+        let row = take.(i) in
         for v = total downto p do
           if table.(v - p) +. w < table.(v) then begin
             table.(v) <- table.(v - p) +. w;
-            set_bit take.(i) v
+            if table.(v) <= k && v > !best then best := v;
+            Dp_scratch.set_bit row v
           end
         done
       done;
-      let best = ref 0 in
-      for v = 0 to total do
-        if table.(v) <= k then best := v
-      done;
       let rec rebuild i v acc =
         if i < 0 then acc
-        else if v >= scaled.(i) && get_bit take.(i) v then
+        else if v >= scaled.(i) && Dp_scratch.get_bit take.(i) v then
           rebuild (i - 1) (v - scaled.(i)) (usable.(i) :: acc)
         else rebuild (i - 1) v acc
       in
@@ -55,4 +56,5 @@ let solve ~epsilon instance =
     end
   end
 
+let solve ~epsilon instance = solve_in (create_workspace ()) ~epsilon instance
 let value ~epsilon instance = fst (solve ~epsilon instance)

@@ -5,10 +5,20 @@
     profit-indexed DP is run on the scaled instance; the returned solution
     has value at least [(1 − ε) · OPT]. *)
 
+(** Reusable scratch (min-weight table + reconstruction bit rows); see
+    {!Dp_scratch}.  Not thread-safe: one workspace per domain. *)
+type workspace
+
+val create_workspace : unit -> workspace
+
 (** [solve ~epsilon inst] returns [(value, solution)] where [value] is the
     true (unscaled) profit of the returned solution.  Items heavier than the
     capacity are ignored.  [epsilon] must be in (0, 1). *)
 val solve : epsilon:float -> Instance.t -> float * Solution.t
+
+(** [solve_in ws ~epsilon inst] is {!solve} computing in [ws]'s buffers
+    (growing them as needed).  Equal output to [solve] for every input. *)
+val solve_in : workspace -> epsilon:float -> Instance.t -> float * Solution.t
 
 (** [value ~epsilon inst] is the value only. *)
 val value : epsilon:float -> Instance.t -> float

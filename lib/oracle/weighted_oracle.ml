@@ -21,4 +21,9 @@ let sample t rng =
   let i = Lk_stats.Alias.sample t.alias rng in
   (i, Lk_knapsack.Instance.item t.instance i)
 
-let sample_many t rng k = Array.init k (fun _ -> sample t rng)
+(* Batched: one bulk charge and one alias batch fill.  Stream consumption
+   and charge totals are identical to [k] successive [sample] calls. *)
+let sample_many t rng k =
+  Counters.charge_weighted_samples t.counters k;
+  let idx = Lk_stats.Alias.sample_many t.alias rng k in
+  Array.map (fun i -> (i, Lk_knapsack.Instance.item t.instance i)) idx

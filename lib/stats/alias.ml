@@ -33,4 +33,26 @@ let sample t rng =
   let i = Lk_util.Rng.int_bound rng (size t) in
   if Lk_util.Rng.float rng < t.prob.(i) then i else t.alias.(i)
 
-let sample_many t rng k = Array.init k (fun _ -> sample t rng)
+(* Batched draws: one tight loop over a caller-owned buffer.  Consumes the
+   stream in exactly the per-draw order of [sample] (cell index, then the
+   stay/alias coin), so a batch of [k] and [k] single draws from equal rng
+   states produce identical indices — only the per-draw closure and
+   intermediate allocations go away. *)
+let sample_many_into t rng buf =
+  let n = size t in
+  let prob = t.prob and alias = t.alias in
+  for j = 0 to Array.length buf - 1 do
+    let i = Lk_util.Rng.int_bound rng n in
+    let u = Lk_util.Rng.float rng in
+    Array.unsafe_set buf j
+      (if u < Array.unsafe_get prob i then i else Array.unsafe_get alias i)
+  done
+
+let sample_many t rng k =
+  if k < 0 then invalid_arg "Alias.sample_many: negative count";
+  if k = 0 then [||]
+  else begin
+    let buf = Array.make k 0 in
+    sample_many_into t rng buf;
+    buf
+  end

@@ -21,5 +21,12 @@ val probability : t -> int -> float
 (** [sample t rng] draws one index. *)
 val sample : t -> Lk_util.Rng.t -> int
 
-(** [sample_many t rng k] draws [k] indices i.i.d. *)
+(** [sample_many t rng k] draws [k] indices i.i.d., consuming the stream
+    exactly as [k] successive {!sample} calls would. *)
 val sample_many : t -> Lk_util.Rng.t -> int -> int array
+
+(** [sample_many_into t rng buf] fills the caller-owned [buf] with
+    [Array.length buf] i.i.d. draws — the allocation-free batch kernel
+    behind {!sample_many}.  Same stream consumption as repeated
+    {!sample}. *)
+val sample_many_into : t -> Lk_util.Rng.t -> int array -> unit

@@ -12,6 +12,13 @@ let create seed = { state = seed }
 let of_int seed = create (Int64.of_int seed)
 let copy t = { state = t.state }
 
+type snapshot = int64
+
+let snapshot t = t.state
+let restore t s = t.state <- s
+let snapshot_equal = Int64.equal
+let snapshot_hash (s : snapshot) = Int64.to_int (mix64 s)
+
 let int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

@@ -12,6 +12,12 @@ let cell_float ?(decimals = 4) x = Printf.sprintf "%.*f" decimals x
 let cell_pct x = Printf.sprintf "%.2f%%" (100. *. x)
 let cell_bool b = if b then "yes" else "no"
 
+let cell_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+  else Printf.sprintf "%.1f ns" ns
+
 let render t =
   let rows = List.rev t.rows in
   let widths =

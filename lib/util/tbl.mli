@@ -20,6 +20,12 @@ val cell_float : ?decimals:int -> float -> string
 val cell_pct : float -> string
 val cell_bool : bool -> string
 
+(** [cell_ns ns] renders a nanosecond duration with an adaptive unit
+    ("12.3 ns", "4.567 us", "1.234 ms", "2.000 s").  Shared by the bench
+    harness and the [--time] option of [bin/experiments] so every timing
+    the project prints reads the same. *)
+val cell_ns : float -> string
+
 (** [render t] produces the full table as a string. *)
 val render : t -> string
 

@@ -8,6 +8,7 @@ module Mli = Lk_analysis.Rule_mli
 module Layer = Lk_analysis.Rule_layering
 module Oracle = Lk_analysis.Rule_oracle
 module Par = Lk_analysis.Rule_parallel
+module Timing = Lk_analysis.Rule_timing
 module Engine = Lk_analysis.Engine
 
 let rules_of findings = List.map (fun f -> f.F.rule) findings
@@ -208,6 +209,36 @@ let test_parallelism_negative () =
     (Par.check ~file:"lib/lca/x.ml" benign)
 
 (* ------------------------------------------------------------------ *)
+(* timing-discipline *)
+
+let test_timing_positive () =
+  let bad =
+    T.tokenize
+      "let t0 = Monotonic_clock.now ()\n\
+       let m = Mtime.Span.to_uint64_ns s\n\
+       let cfg = Bechamel.Benchmark.cfg ()\n"
+  in
+  check_rules "clock reads flagged in lib"
+    [ "timing-discipline"; "timing-discipline"; "timing-discipline" ]
+    (Timing.check ~file:"lib/lca/x.ml" bad);
+  check_rules "and in bin" [ "timing-discipline" ]
+    (Timing.check ~file:"bin/experiments.ml"
+       (T.tokenize "let t0 = Monotonic_clock.now ()\n"))
+
+let test_timing_negative () =
+  let bad = T.tokenize "let t0 = Monotonic_clock.now ()\n" in
+  check_rules "lib/benchkit itself is exempt" []
+    (Timing.check ~file:"lib/benchkit/stopwatch.ml" bad);
+  let benign =
+    T.tokenize
+      "let sw = Lk_benchkit.Stopwatch.start ()\n\
+       let ns = Lk_benchkit.Stopwatch.elapsed_ns sw\n\
+       let b = monotonic_clock_like\n"
+  in
+  check_rules "the Stopwatch wrapper and substrings are fine" []
+    (Timing.check ~file:"bin/experiments.ml" benign)
+
+(* ------------------------------------------------------------------ *)
 (* allowlist *)
 
 let test_allowlist_round_trip () =
@@ -328,6 +359,11 @@ let () =
         [
           Alcotest.test_case "positive" `Quick test_parallelism_positive;
           Alcotest.test_case "negative" `Quick test_parallelism_negative;
+        ] );
+      ( "timing-discipline",
+        [
+          Alcotest.test_case "positive" `Quick test_timing_positive;
+          Alcotest.test_case "negative" `Quick test_timing_negative;
         ] );
       ( "allowlist",
         [

@@ -1,0 +1,217 @@
+module Json = Lk_benchkit.Json
+module Benchkit = Lk_benchkit.Benchkit
+module Stopwatch = Lk_benchkit.Stopwatch
+
+(* ---------- Json ---------- *)
+
+let test_json_print_known () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd");
+        ("n", Json.Num 1.5);
+        ("i", Json.Num 3.);
+        ("t", Json.Bool true);
+        ("z", Json.Null);
+        ("l", Json.Arr [ Json.Num 1.; Json.Num 2. ]);
+        ("e", Json.Arr []);
+        ("o", Json.Obj []);
+      ]
+  in
+  let s = Json.to_string v in
+  Alcotest.(check bool) "escapes quote" true
+    (let rec mem i =
+       i + 4 <= String.length s && (String.sub s i 4 = "\\\"b\\" || mem (i + 1))
+     in
+     mem 0);
+  Alcotest.(check bool) "integer floats print bare" true
+    (let rec mem i =
+       i + 8 <= String.length s && (String.sub s i 8 = "\"i\": 3,\n" || mem (i + 1))
+     in
+     mem 0)
+
+let test_json_round_trip_known () =
+  let v =
+    Json.Obj
+      [
+        ("label", Json.Str "x");
+        ("pi", Json.Num 3.14159265358979312);
+        ("neg", Json.Num (-0.001));
+        ("big", Json.Num 1e22);
+        ("list", Json.Arr [ Json.Null; Json.Bool false; Json.Str "" ]);
+      ]
+  in
+  Alcotest.(check bool) "parse (print v) = v" true (Json.parse (Json.to_string v) = v)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed input %S" bad)
+    [ "{"; "[1,"; "\"unterminated"; "nul"; "{\"a\" 1}"; "1 2"; "" ]
+
+let test_json_rejects_nan () =
+  Alcotest.check_raises "nan" (Invalid_argument "Json: nan/infinity have no JSON representation")
+    (fun () -> ignore (Json.to_string (Json.Num Float.nan)))
+
+let json_gen =
+  QCheck.Gen.(
+    sized_size (int_range 0 4) @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              (* integers and dyadic fractions round-trip exactly through
+                 %.17g; arbitrary floats do too, but these keep failures
+                 readable *)
+              map (fun i -> Json.Num (float_of_int i)) (int_range (-1000) 1000);
+              map (fun i -> Json.Num (float_of_int i /. 64.)) (int_range (-1000) 1000);
+              map (fun s -> Json.Str s) (string_size ~gen:printable (int_range 0 8));
+            ]
+        in
+        if n = 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map (fun l -> Json.Arr l) (list_size (int_range 0 4) (self (n - 1)));
+              map
+                (fun kvs ->
+                  (* duplicate keys would make round-tripping ambiguous *)
+                  let seen = Hashtbl.create 8 in
+                  Json.Obj
+                    (List.filter
+                       (fun (k, _) ->
+                         if Hashtbl.mem seen k then false
+                         else begin
+                           Hashtbl.add seen k ();
+                           true
+                         end)
+                       kvs))
+                (list_size (int_range 0 4)
+                   (pair (string_size ~gen:printable (int_range 0 6)) (self (n - 1))));
+            ]))
+
+let prop_json_round_trip =
+  QCheck.Test.make ~name:"parse (to_string t) = t" ~count:500
+    (QCheck.make ~print:Json.to_string json_gen) (fun v ->
+      Json.parse (Json.to_string v) = v)
+
+(* ---------- Benchkit files ---------- *)
+
+let sample_file =
+  {
+    Benchkit.label = "unit";
+    quota_s = 0.5;
+    limit = 100;
+    results =
+      [
+        { Benchkit.name = "a"; ns_per_run = 100.; r_square = Some 0.99 };
+        { Benchkit.name = "b"; ns_per_run = 2048.25; r_square = None };
+      ];
+  }
+
+let test_file_round_trip () =
+  match Benchkit.of_json (Json.parse (Json.to_string (Benchkit.to_json sample_file))) with
+  | Ok f -> Alcotest.(check bool) "round trip" true (f = sample_file)
+  | Error e -> Alcotest.fail e
+
+let test_file_save_load () =
+  let path = Filename.temp_file "benchkit" ".json" in
+  Benchkit.save path sample_file;
+  (match Benchkit.load path with
+  | Ok f -> Alcotest.(check bool) "load (save f) = f" true (f = sample_file)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_file_schema_rejected () =
+  let wrong = Json.Obj [ ("schema", Json.Str "other/9") ] in
+  (match Benchkit.of_json wrong with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted wrong schema");
+  match Benchkit.load "/nonexistent/benchkit.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+
+(* ---------- comparison / regression gate ---------- *)
+
+let file_of results = { sample_file with Benchkit.results }
+
+let r name ns = { Benchkit.name; ns_per_run = ns; r_square = None }
+
+let test_compare_self_clean () =
+  let c =
+    Benchkit.compare_files ~threshold:0.15 ~baseline:sample_file ~candidate:sample_file
+  in
+  Alcotest.(check int) "no regressions" 0 (List.length c.Benchkit.regressions);
+  Alcotest.(check int) "all benches compared" 2 (List.length c.Benchkit.deltas);
+  Alcotest.(check int) "nothing missing" 0 (List.length c.Benchkit.missing);
+  Alcotest.(check int) "nothing added" 0 (List.length c.Benchkit.added)
+
+let test_compare_regression_threshold () =
+  let baseline = file_of [ r "a" 100.; r "b" 200. ] in
+  let candidate = file_of [ r "a" 100.; r "b" 240. ] in
+  (* +20% trips a 15% gate and passes a 25% gate *)
+  let c15 = Benchkit.compare_files ~threshold:0.15 ~baseline ~candidate in
+  (match c15.Benchkit.regressions with
+  | [ d ] ->
+      Alcotest.(check string) "the regressed bench" "b" d.Benchkit.bench;
+      Alcotest.(check (float 1e-9)) "ratio" 1.2 d.Benchkit.ratio
+  | l -> Alcotest.failf "expected one regression, got %d" (List.length l));
+  let c25 = Benchkit.compare_files ~threshold:0.25 ~baseline ~candidate in
+  Alcotest.(check int) "25%% gate passes" 0 (List.length c25.Benchkit.regressions);
+  (* an improvement is never a regression *)
+  let faster = file_of [ r "a" 10.; r "b" 20. ] in
+  let c = Benchkit.compare_files ~threshold:0.15 ~baseline ~candidate:faster in
+  Alcotest.(check int) "improvements pass" 0 (List.length c.Benchkit.regressions)
+
+let test_compare_missing_added () =
+  let baseline = file_of [ r "a" 100.; r "gone" 50. ] in
+  let candidate = file_of [ r "a" 100.; r "new" 70. ] in
+  let c = Benchkit.compare_files ~threshold:0.15 ~baseline ~candidate in
+  Alcotest.(check (list string)) "missing" [ "gone" ] c.Benchkit.missing;
+  Alcotest.(check (list string)) "added" [ "new" ] c.Benchkit.added;
+  Alcotest.(check int) "only the common bench compared" 1 (List.length c.Benchkit.deltas)
+
+(* ---------- Stopwatch ---------- *)
+
+let test_stopwatch_monotone () =
+  let sw = Stopwatch.start () in
+  let acc = ref 0 in
+  for i = 1 to 10_000 do
+    acc := !acc + i
+  done;
+  let ns = Stopwatch.elapsed_ns sw in
+  Alcotest.(check bool) "elapsed >= 0" true (ns >= 0.);
+  let x, ns' = Stopwatch.time (fun () -> !acc) in
+  Alcotest.(check int) "result threaded" 50_005_000 x;
+  Alcotest.(check bool) "timed >= 0" true (ns' >= 0.)
+
+let () =
+  Alcotest.run "benchkit"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "printer" `Quick test_json_print_known;
+          Alcotest.test_case "round trip (known)" `Quick test_json_round_trip_known;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "nan rejected" `Quick test_json_rejects_nan;
+          QCheck_alcotest.to_alcotest prop_json_round_trip;
+        ] );
+      ( "files",
+        [
+          Alcotest.test_case "json round trip" `Quick test_file_round_trip;
+          Alcotest.test_case "save/load" `Quick test_file_save_load;
+          Alcotest.test_case "schema rejected" `Quick test_file_schema_rejected;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "self is clean" `Quick test_compare_self_clean;
+          Alcotest.test_case "regression threshold" `Quick test_compare_regression_threshold;
+          Alcotest.test_case "missing and added" `Quick test_compare_missing_added;
+        ] );
+      ( "stopwatch",
+        [ Alcotest.test_case "monotone" `Quick test_stopwatch_monotone ] );
+    ]

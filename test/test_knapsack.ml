@@ -382,6 +382,67 @@ let prop_greedy_half_bound =
       Solution.profit fi (Greedy.half_approx fi)
       >= (float_of_int (Exact_dp.value inst) /. 2.) -. 1e-9)
 
+(* PR3 differential properties: the workspace-reusing kernels must be
+   bitwise-equal to the allocating originals.  One workspace is shared
+   across all generated instances on purpose — stale state leaking from a
+   previous (larger) instance is exactly the bug class under test. *)
+
+let shared_dp_ws = Exact_dp.create_workspace ()
+let shared_fptas_ws = Fptas.create_workspace ()
+
+let prop_workspace_solve_identical =
+  QCheck.Test.make ~name:"solve_in ws = solve (shared workspace)" ~count:300
+    int_instance_arb (fun inst ->
+      let v, sol = Exact_dp.solve inst in
+      let v', sol' = Exact_dp.solve_in shared_dp_ws inst in
+      v = v'
+      && Solution.indices sol = Solution.indices sol'
+      && Exact_dp.value_in shared_dp_ws inst = Exact_dp.value inst)
+
+let prop_workspace_fptas_identical =
+  QCheck.Test.make ~name:"fptas solve_in ws = solve (shared workspace)" ~count:150
+    int_instance_arb (fun inst ->
+      let fi = Int_instance.to_float inst in
+      List.for_all
+        (fun epsilon ->
+          let v, sol = Fptas.solve ~epsilon fi in
+          let v', sol' = Fptas.solve_in shared_fptas_ws ~epsilon fi in
+          Float.equal v v' && Solution.indices sol = Solution.indices sol')
+        [ 0.5; 0.1 ])
+
+(* Big-profit generator: n·Σp blows past the dense bit-matrix budget, so
+   solve_by_profit takes the sparse take-store path (capacity stays small,
+   keeping the capacity-indexed reference cheap). *)
+let big_profit_arb =
+  QCheck.make
+    ~print:(fun (i : Int_instance.t) ->
+      Printf.sprintf "n=%d cap=%d" (Int_instance.size i) i.Int_instance.capacity)
+    QCheck.Gen.(
+      let* n = int_range 30 50 in
+      let* profits = array_repeat n (int_range 0 30_000) in
+      let* weights = array_repeat n (int_range 0 12) in
+      let* capacity = int_range 0 40 in
+      return (Int_instance.make ~profits ~weights ~capacity))
+
+let prop_profit_dp_sparse_agrees =
+  QCheck.Test.make ~name:"dp-by-profit sparse reconstruction = dp-by-weight" ~count:60
+    big_profit_arb (fun inst ->
+      let v, sol = Exact_dp.solve_by_profit inst in
+      let fi = Int_instance.to_float inst in
+      v = Exact_dp.value inst
+      && Solution.is_feasible fi sol
+      && abs_float (Solution.profit fi sol -. float_of_int v) < 1e-6)
+
+let prop_min_weight_running_best =
+  QCheck.Test.make ~name:"min_weight_per_profit best = scan of the table" ~count:200
+    int_instance_arb (fun inst ->
+      let table, best = Exact_dp.min_weight_per_profit inst in
+      let scanned = ref 0 in
+      Array.iteri
+        (fun v w -> if w <> max_int && w <= inst.Int_instance.capacity && v > !scanned then scanned := v)
+        table;
+      best = !scanned)
+
 let () =
   Alcotest.run "knapsack"
     [
@@ -450,5 +511,9 @@ let () =
           QCheck_alcotest.to_alcotest prop_profit_dp_agrees;
           QCheck_alcotest.to_alcotest prop_fptas_guarantee;
           QCheck_alcotest.to_alcotest prop_greedy_half_bound;
+          QCheck_alcotest.to_alcotest prop_workspace_solve_identical;
+          QCheck_alcotest.to_alcotest prop_workspace_fptas_identical;
+          QCheck_alcotest.to_alcotest prop_profit_dp_sparse_agrees;
+          QCheck_alcotest.to_alcotest prop_min_weight_running_best;
         ] );
     ]

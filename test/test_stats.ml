@@ -175,6 +175,25 @@ let prop_quantile_sound =
       let x = Empirical.quantile e q in
       Empirical.cdf e x >= q -. 1e-9 && Empirical.cdf_strict e x <= q +. 1e-9)
 
+(* PR3: the batched sampler must consume the rng stream exactly as
+   repeated single draws would — same outputs AND same end state, so
+   swapping one for the other can never perturb downstream draws. *)
+let prop_alias_batch_matches_loop =
+  QCheck.Test.make ~name:"sample_many = repeated sample (outputs and rng state)" ~count:100
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 30) (float_range 0. 10.))
+        (pair (int_bound 200) (int_bound 1000)))
+    (fun (ws, (k, seed)) ->
+      QCheck.assume (Array.exists (fun w -> w > 0.) ws);
+      let a = Alias.create ws in
+      let rng_batch = Rng.create (Int64.of_int seed) in
+      let rng_loop = Rng.create (Int64.of_int seed) in
+      let batch = Alias.sample_many a rng_batch k in
+      let loop = Array.init k (fun _ -> Alias.sample a rng_loop) in
+      batch = loop
+      && Rng.snapshot_equal (Rng.snapshot rng_batch) (Rng.snapshot rng_loop))
+
 let prop_alias_prob_sums_to_one =
   QCheck.Test.make ~name:"alias probabilities sum to 1" ~count:100
     QCheck.(array_of_size Gen.(int_range 1 30) (float_range 0. 10.))
@@ -231,5 +250,6 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_quantile_sound;
           QCheck_alcotest.to_alcotest prop_alias_prob_sums_to_one;
+          QCheck_alcotest.to_alcotest prop_alias_batch_matches_loop;
         ] );
     ]

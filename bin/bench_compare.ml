@@ -3,8 +3,10 @@
      bench_compare [--threshold FRAC] baseline.json candidate.json
 
    Exit status: 0 when no common bench regressed by more than the
-   threshold (default 0.15 = 15%), 1 on regression, 2 on bad invocation or
-   unreadable/invalid input. *)
+   threshold (default 0.15 = 15%), 1 on regression, 2 on bad invocation,
+   unreadable/invalid input, or a bench id present in only one file (a
+   renamed or dropped bench must fail loudly, not silently shrink the
+   compared set). *)
 
 let usage = "bench_compare [--threshold FRAC] baseline.json candidate.json"
 
@@ -38,6 +40,20 @@ let () =
         Lk_benchkit.Benchkit.compare_files ~threshold:!threshold ~baseline ~candidate
       in
       print_string (Lk_benchkit.Benchkit.render_comparison ~threshold:!threshold cmp);
+      (match (cmp.Lk_benchkit.Benchkit.missing, cmp.Lk_benchkit.Benchkit.added) with
+      | [], [] -> ()
+      | missing, added ->
+          let side role = function
+            | [] -> []
+            | ids -> [ Printf.sprintf "%s: %s" role (String.concat ", " ids) ]
+          in
+          Printf.eprintf
+            "bench_compare: bench id(s) present in only one file (%s); \
+             comparing mismatched bench sets would silently skip them — \
+             regenerate the stale file or update the baseline\n"
+            (String.concat "; "
+               (side "only in baseline" missing @ side "only in candidate" added));
+          exit 2);
       match cmp.Lk_benchkit.Benchkit.regressions with
       | [] ->
           Printf.printf "OK: no bench regressed by more than %.0f%%\n"

@@ -24,6 +24,9 @@ module Rmedian = Lk_repro.Rmedian
 module Harness = Lk_repro.Repro_harness
 module Alias = Lk_stats.Alias
 module Engine = Lk_parallel.Engine
+module Obs = Lk_obs.Obs
+module Metrics = Lk_obs.Metrics
+module TraceDoc = Lk_obs.Trace
 
 (* ------------------------------------------------------------ trial fan-out
 
@@ -33,30 +36,45 @@ module Engine = Lk_parallel.Engine
    the loops on the deterministic engine (lib/parallel): each row derives a
    fresh base stream from the experiment RNG, each trial computes on the
    index-derived stream [Rng.split_at base i], and results merge in trial
-   order — so the tables are bitwise identical for every k >= 1. *)
+   order — so the tables are bitwise identical for every k >= 1.
 
-let fanout_success ~jobs kind ~n ~budget ~trials rng =
+   [sink] is the run's trace sink (--trace / --metrics; Obs.null without
+   either).  The engine paths go through [Engine.run_traced], which hands
+   each trial a private ring and merges in index order — so the recorded
+   event stream, like the tables, is identical for every k >= 1.  The
+   serial paths emit straight into the global sink. *)
+
+let fanout_success ~jobs ~sink kind ~n ~budget ~trials rng =
   match jobs with
   | None -> Reduction.measured_success kind ~n ~budget ~trials rng
   | Some jobs ->
       let base = Rng.split rng in
-      Engine.mean_of ~jobs ~base ~trials (fun ~index:_ ~rng ->
-          if Reduction.trial kind ~n ~budget rng then 1. else 0.)
+      let hits =
+        Engine.run_traced ~jobs ~sink ~base ~trials (fun ~index:_ ~rng ~sink:_ ->
+            if Reduction.trial kind ~n ~budget rng then 1. else 0.)
+      in
+      (* Same left-to-right summation as Engine.mean_of: bitwise identical. *)
+      Array.fold_left ( +. ) 0. hits /. float_of_int trials
 
-let fanout_play ~jobs ~n ~budget ~trials rng =
+let fanout_play ~jobs ~sink ~n ~budget ~trials rng =
   match jobs with
   | None -> Maximal_hard.play ~n ~budget ~trials rng
   | Some jobs ->
       let base = Rng.split rng in
-      Engine.mean_of ~jobs ~base ~trials (fun ~index ~rng ->
-          if Maximal_hard.play_one ~n ~budget ~trial:(index + 1) rng then 1. else 0.)
+      let hits =
+        Engine.run_traced ~jobs ~sink ~base ~trials (fun ~index ~rng ~sink:_ ->
+            if Maximal_hard.play_one ~n ~budget ~trial:(index + 1) rng then 1.
+            else 0.)
+      in
+      Array.fold_left ( +. ) 0. hits /. float_of_int trials
 
-let fanout_array ~jobs ~trials fresh f =
+let fanout_array ~jobs ~sink ~trials fresh f =
   match jobs with
-  | None -> Array.init trials (fun i -> f i fresh)
+  | None -> Array.init trials (fun i -> f ~sink i fresh)
   | Some jobs ->
       let base = Rng.split fresh in
-      Engine.run ~jobs ~base ~trials (fun ~index ~rng -> f index rng)
+      Engine.run_traced ~jobs ~sink ~base ~trials (fun ~index ~rng ~sink ->
+          f ~sink index rng)
 
 let figure_1 () =
   print_string
@@ -75,7 +93,7 @@ let figure_1 () =
 
 (* ------------------------------------------------------------------ E1 *)
 
-let e1 ~quick ~jobs () =
+let e1 ~quick ~jobs ~sink () =
   figure_1 ();
   let trials = if quick then 500 else 4000 in
   let t =
@@ -88,7 +106,7 @@ let e1 ~quick ~jobs () =
       List.iter
         (fun frac ->
           let budget = max 1 (int_of_float (frac *. float_of_int n)) in
-          let measured = fanout_success ~jobs Reduction.Exact ~n ~budget ~trials rng in
+          let measured = fanout_success ~jobs ~sink Reduction.Exact ~n ~budget ~trials rng in
           let analytic = Or_game.analytic_success ~n:(n - 1) ~budget in
           Tbl.add_row t
             [
@@ -107,7 +125,7 @@ let e1 ~quick ~jobs () =
 
 (* ------------------------------------------------------------------ E2 *)
 
-let e2 ~quick ~jobs () =
+let e2 ~quick ~jobs ~sink () =
   let trials = if quick then 500 else 4000 in
   let n = 4096 in
   let t =
@@ -122,7 +140,7 @@ let e2 ~quick ~jobs () =
         (fun frac ->
           let budget = max 1 (int_of_float (frac *. float_of_int n)) in
           let kind = Reduction.Approximate { alpha; beta = alpha /. 2. } in
-          let measured = fanout_success ~jobs kind ~n ~budget ~trials rng in
+          let measured = fanout_success ~jobs ~sink kind ~n ~budget ~trials rng in
           Tbl.add_row t
             [
               Tbl.cell_float ~decimals:2 alpha;
@@ -140,7 +158,7 @@ let e2 ~quick ~jobs () =
 
 (* ------------------------------------------------------------------ E3 *)
 
-let e3 ~quick ~jobs () =
+let e3 ~quick ~jobs ~sink () =
   let trials = if quick then 500 else 4000 in
   let t =
     Tbl.create
@@ -153,7 +171,7 @@ let e3 ~quick ~jobs () =
     (fun n ->
       List.iter
         (fun budget ->
-          let measured = fanout_play ~jobs ~n ~budget ~trials rng in
+          let measured = fanout_play ~jobs ~sink ~n ~budget ~trials rng in
           let analytic = Maximal_hard.analytic_success ~n ~budget in
           Tbl.add_row t
             [
@@ -174,7 +192,7 @@ let e3 ~quick ~jobs () =
 
 let quality_families = [ Gen.Uniform; Gen.Few_large; Gen.Garbage_mix; Gen.Heavy_tail; Gen.Subset_sum ]
 
-let e4 ~quick ~jobs () =
+let e4 ~quick ~jobs ~sink () =
   let t =
     Tbl.create
       ~title:"E4 (Theorem 4.1 / Lemma 4.8): LCA-KP solution value vs OPT"
@@ -191,9 +209,13 @@ let e4 ~quick ~jobs () =
           let norm = Access.normalized access in
           let bracket = Reference.estimate norm in
           let params = Params.practical ~sample_scale:scale epsilon in
-          let algo = Lca_kp.create params access ~seed:5L in
           let runs = if quick then 1 else runs in
-          let values = fanout_array ~jobs ~trials:runs fresh (fun _ rng ->
+          (* The algo view is rebuilt per trial against that trial's sink
+             (Lca_kp.create is pure setup): under --jobs, concurrent trials
+             must not share a ring.  Values are unchanged — Lca_kp.run is a
+             function of (params, access contents, seed, rng) alone. *)
+          let values = fanout_array ~jobs ~sink ~trials:runs fresh (fun ~sink _ rng ->
+              let algo = Lca_kp.create params (Access.with_sink access sink) ~seed:5L in
               let state = Lca_kp.run algo ~fresh:rng in
               (Solution.profit norm (Lca_kp.induced_solution algo state),
                Lca_kp.samples_per_query algo state)) in
@@ -219,7 +241,7 @@ let e4 ~quick ~jobs () =
     "Claim check: every row meets p(C) >= OPT/2 - 6eps; ratios approach 1/2 (and beyond when\n\
      large items dominate, e.g. few-large/heavy-tail where the LCA recovers L(I) exactly).\n"
 
-let e5 ~quick ~jobs () =
+let e5 ~quick ~jobs ~sink () =
   let t =
     Tbl.create ~title:"E5 (Lemma 4.7): feasibility of the induced solution (fuzz)"
       [ "family"; "runs"; "feasible"; "rate" ]
@@ -232,9 +254,9 @@ let e5 ~quick ~jobs () =
   in
   List.iter
     (fun family ->
-      let one (epsilon, seed) rng =
+      let one ~sink (epsilon, seed) rng =
         let inst = Gen.generate family (Rng.create (Int64.of_int seed)) ~n:2000 in
-        let access = Access.of_instance inst in
+        let access = Access.of_instance ~sink inst in
         let params = Params.practical ~sample_scale:0.002 epsilon in
         let algo = Lca_kp.create params access ~seed:(Int64.of_int (17 * seed)) in
         let state = Lca_kp.run algo ~fresh:rng in
@@ -242,7 +264,8 @@ let e5 ~quick ~jobs () =
         Solution.is_feasible (Access.normalized access) sol
       in
       let outcomes =
-        fanout_array ~jobs ~trials:(Array.length combos) fresh (fun i rng -> one combos.(i) rng)
+        fanout_array ~jobs ~sink ~trials:(Array.length combos) fresh (fun ~sink i rng ->
+            one ~sink combos.(i) rng)
       in
       let total = Array.length outcomes in
       let feasible = Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 outcomes in
@@ -259,7 +282,7 @@ let e5 ~quick ~jobs () =
 
 (* ------------------------------------------------------------------ E6 *)
 
-let e6 ~quick ~jobs () =
+let e6 ~quick ~jobs ~sink () =
   let t =
     Tbl.create
       ~title:
@@ -274,7 +297,14 @@ let e6 ~quick ~jobs () =
   List.iter
     (fun family ->
       let inst = Gen.generate family (Rng.create 21L) ~n in
-      let access = Access.of_instance inst in
+      (* Consistency.measure shares one lca closure across its runs, so a
+         ring can only be attached on the serial path; under --jobs the
+         runs stay untraced (phase brackets still mark the experiment). *)
+      let access =
+        Access.of_instance
+          ~sink:(match jobs with None -> sink | Some _ -> Obs.null)
+          inst
+      in
       let probes = Array.init 40 (fun i -> (i * 97) mod n) in
       List.iter
         (fun (epsilon, scale, runs) ->
@@ -333,7 +363,7 @@ let e7_dists =
     };
   ]
 
-let e7 ~quick ~jobs () =
+let e7 ~quick ~jobs ~sink:_ () =
   let t =
     Tbl.create
       ~title:"E7 (Theorem 4.5 / Theorem 2.7): rQuantile reproducibility and accuracy"
@@ -407,7 +437,7 @@ let e7 ~quick ~jobs () =
 
 (* ------------------------------------------------------------------ E8 *)
 
-let e8 ~quick ~jobs:_ () =
+let e8 ~quick ~jobs:_ ~sink () =
   let t =
     Tbl.create ~title:"E8 (Lemma 4.4, [IKY12]): constant-time OPT value approximation"
       [ "family"; "eps"; "OPT bracket"; "estimate"; "add. error"; "|I~|"; "samples"; "|err|<=6eps" ]
@@ -418,7 +448,7 @@ let e8 ~quick ~jobs:_ () =
       List.iter
         (fun epsilon ->
           let inst = Gen.generate family (Rng.create 31L) ~n:(if quick then 2000 else 10000) in
-          let access = Access.of_instance inst in
+          let access = Access.of_instance ~sink inst in
           let bracket = Reference.estimate (Access.normalized access) in
           let params = Params.practical ~sample_scale:0.1 epsilon in
           let r = Iky_value.approximate_opt params access ~seed:13L ~fresh in
@@ -443,7 +473,7 @@ let e8 ~quick ~jobs:_ () =
 
 (* ------------------------------------------------------------------ E9 *)
 
-let e9 ~quick ~jobs:_ () =
+let e9 ~quick ~jobs:_ ~sink () =
   let t1 =
     Tbl.create ~title:"E9a (Lemma 4.10): per-query samples vs instance size n (eps = 0.2)"
       [ "n"; "samples/query (measured)"; "log* driven theory (formula)" ]
@@ -451,7 +481,7 @@ let e9 ~quick ~jobs:_ () =
   let fresh = Rng.create 909L in
   let measure ~n ~epsilon ~scale =
     let inst = Gen.generate Gen.Garbage_mix (Rng.create 41L) ~n in
-    let access = Access.of_instance inst in
+    let access = Access.of_instance ~sink inst in
     let params = Params.practical ~sample_scale:scale epsilon in
     let algo = Lca_kp.create params access ~seed:7L in
     let runs = 3 in
@@ -509,7 +539,7 @@ let e9 ~quick ~jobs:_ () =
 
 (* ----------------------------------------------------------------- E11 *)
 
-let e11 ~quick ~jobs:_ () =
+let e11 ~quick ~jobs:_ ~sink () =
   let t =
     Tbl.create
       ~title:
@@ -532,7 +562,7 @@ let e11 ~quick ~jobs:_ () =
       let instances =
         List.init trials (fun trial ->
             let inst = Gen.generate family (Rng.create (Int64.of_int (61 + trial))) ~n in
-            let access = Access.of_instance inst in
+            let access = Access.of_instance ~sink inst in
             let norm = Access.normalized access in
             let opt = (Reference.estimate norm).Reference.lower in
             (access, norm, opt))
@@ -603,7 +633,7 @@ let e11 ~quick ~jobs:_ () =
 
 (* ----------------------------------------------------------------- E12 *)
 
-let e12 ~quick ~jobs:_ () =
+let e12 ~quick ~jobs:_ ~sink () =
   let t =
     Tbl.create
       ~title:
@@ -623,7 +653,7 @@ let e12 ~quick ~jobs:_ () =
       let epsilon = 0.15 in
       List.iter
         (fun sampling ->
-          let access = Access.of_instance ~sampling inst in
+          let access = Access.of_instance ~sampling ~sink inst in
           let norm = Access.normalized access in
           let bracket = Reference.estimate norm in
           let true_large = ref 0 in
@@ -665,7 +695,7 @@ let all_experiments =
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e11", e11); ("e12", e12);
   ]
 
-let run_selected names quick jobs time =
+let run_selected names quick jobs time trace metrics =
   Lk_util.Log_setup.init ();
   (match jobs with
   | Some j when j < 1 ->
@@ -673,6 +703,16 @@ let run_selected names quick jobs time =
       exit 2
   | _ -> ());
   let names = if names = [] || names = [ "all" ] then List.map fst all_experiments else names in
+  (* One sink for the whole invocation; Obs.null unless --trace/--metrics
+     asked for it, so the default path pays one branch per emission site
+     and stdout stays byte-identical either way. *)
+  let registry = match metrics with Some _ -> Some (Metrics.create ()) | None -> None in
+  let sink =
+    match (trace, registry) with
+    | None, None -> Obs.null
+    | Some _, _ -> Obs.recorder ?metrics:registry ()
+    | None, Some r -> Obs.meter r
+  in
   List.iter
     (fun name ->
       match List.assoc_opt name all_experiments with
@@ -681,15 +721,40 @@ let run_selected names quick jobs time =
           if time then begin
             (* stderr only: stdout (the EXPERIMENTS.md tables) must stay a
                function of the seeds alone, byte for byte *)
-            let (), ns = Lk_benchkit.Stopwatch.time (fun () -> f ~quick ~jobs ()) in
+            let (), ns =
+              Lk_benchkit.Stopwatch.time (fun () ->
+                  Obs.phase sink name (fun () -> f ~quick ~jobs ~sink ()))
+            in
             Printf.eprintf "[time] %-4s %s\n%!" name (Tbl.cell_ns ns)
           end
-          else f ~quick ~jobs ()
+          else Obs.phase sink name (fun () -> f ~quick ~jobs ~sink ())
       | None ->
           Printf.eprintf "unknown experiment %S (known: %s, all)\n" name
             (String.concat ", " (List.map fst all_experiments));
           exit 2)
-    names
+    names;
+  (match trace with
+  | Some path ->
+      (* The meta block is everything trace_tool needs to re-run this exact
+         invocation (replay goes through the CLI, so --quick/--jobs are the
+         whole run identity alongside the baked-in seeds). *)
+      let meta =
+        [
+          ("kind", "experiments");
+          ("names", String.concat " " names);
+          ("quick", if quick then "true" else "false");
+          ("jobs", match jobs with None -> "" | Some j -> string_of_int j);
+        ]
+      in
+      TraceDoc.save path
+        (TraceDoc.make ~label:"experiments" ~meta ~dropped:(Obs.dropped sink)
+           (Obs.events sink))
+  | None -> ());
+  match (metrics, registry) with
+  | Some path, Some r ->
+      Metrics.set (Metrics.gauge r "obs.dropped") (float_of_int (Obs.dropped sink));
+      Lk_benchkit.Json.write_file path (Metrics.to_json (Metrics.snapshot r))
+  | _ -> ()
 
 open Cmdliner
 
@@ -717,12 +782,30 @@ let time_arg =
   in
   Arg.(value & flag & info [ "time" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record the run's trace-event stream (oracle queries, cache hits, \
+     phases, trial markers) to $(docv) — deterministic JSON, byte-identical \
+     across repeats and across --jobs counts.  Stdout is unaffected.  \
+     Verify a recording with 'trace_tool verify'."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Export a metrics snapshot (named counters, gauges, log-scaled \
+     histograms over the same event stream) to $(docv) as deterministic \
+     JSON.  Stdout is unaffected."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "Regenerate the LCA-for-Knapsack reproduction experiments (EXPERIMENTS.md)" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
     Term.(
-      const (fun names quick jobs time -> run_selected names quick jobs time)
-      $ names_arg $ quick_arg $ jobs_arg $ time_arg)
+      const (fun names quick jobs time trace metrics ->
+          run_selected names quick jobs time trace metrics)
+      $ names_arg $ quick_arg $ jobs_arg $ time_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

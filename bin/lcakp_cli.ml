@@ -21,10 +21,18 @@ let make_algo epsilon seed scale path =
   let params = Lk_lcakp.Params.practical ~sample_scale:scale epsilon in
   (instance, access, Lk_lcakp.Lca_kp.create params access ~seed:(Int64.of_int seed))
 
+(* Machine-readable counter dump (--counters FILE): stdout stays exactly
+   the human-facing report, the JSON goes to its own file. *)
+let write_counters access = function
+  | None -> ()
+  | Some path ->
+      Lk_benchkit.Json.write_file path
+        (Lk_oracle.Counters.to_json (Lk_oracle.Access.counters access))
+
 (* ---- query ---- *)
 
-let run_query epsilon seed scale path indices =
-  let instance, _, algo = make_algo epsilon seed scale path in
+let run_query epsilon seed scale path indices counters =
+  let instance, access, algo = make_algo epsilon seed scale path in
   let indices =
     if indices = [] then List.init (Instance.size instance) Fun.id else indices
   in
@@ -33,11 +41,12 @@ let run_query epsilon seed scale path indices =
     (fun i ->
       let yes = Lk_lcakp.Lca_kp.query algo ~fresh i in
       Printf.printf "item %d: %s\n" i (if yes then "IN" else "OUT"))
-    indices
+    indices;
+  write_counters access counters
 
 (* ---- solve ---- *)
 
-let run_solve epsilon seed scale path =
+let run_solve epsilon seed scale path counters =
   let _, access, algo = make_algo epsilon seed scale path in
   let norm = Lk_oracle.Access.normalized access in
   let state = Lk_lcakp.Lca_kp.run algo ~fresh:(Rng.create (Int64.of_int ((seed * 31) + 1))) in
@@ -50,7 +59,8 @@ let run_solve epsilon seed scale path =
   Printf.printf "# OPT bracket: [%.6f, %.6f] (%s)\n" bracket.Lk_knapsack.Reference.lower
     bracket.Lk_knapsack.Reference.upper bracket.Lk_knapsack.Reference.method_used;
   Printf.printf "# samples drawn this run: %d\n" (Lk_lcakp.Lca_kp.samples_per_query algo state);
-  List.iter (fun i -> Printf.printf "%d\n" i) (Solution.indices sol)
+  List.iter (fun i -> Printf.printf "%d\n" i) (Solution.indices sol);
+  write_counters access counters
 
 (* ---- stats ---- *)
 
@@ -107,16 +117,23 @@ let scale_arg =
 let path_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE" ~doc:"Instance file.")
 
+let counters_arg =
+  Arg.(value & opt (some string) None
+       & info [ "counters" ] ~docv:"FILE"
+           ~doc:"Write the run's oracle query accounting (index queries, \
+                 weighted samples, cache hits/misses) to $(docv) as \
+                 deterministic JSON.  Stdout is unaffected.")
+
 let query_cmd =
   let indices = Arg.(value & pos_right 0 int [] & info [] ~docv:"INDEX" ~doc:"Indices (default: all).") in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer LCA membership queries (one stateless run per query)")
-    Term.(const run_query $ epsilon_arg $ seed_arg $ scale_arg $ path_arg $ indices)
+    Term.(const run_query $ epsilon_arg $ seed_arg $ scale_arg $ path_arg $ indices $ counters_arg)
 
 let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Materialize the solution one LCA run answers according to")
-    Term.(const run_solve $ epsilon_arg $ seed_arg $ scale_arg $ path_arg)
+    Term.(const run_solve $ epsilon_arg $ seed_arg $ scale_arg $ path_arg $ counters_arg)
 
 let stats_cmd =
   Cmd.v

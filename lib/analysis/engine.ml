@@ -12,6 +12,8 @@ let rules =
      "Domain/Atomic/Mutex/... usage outside lib/parallel");
     (Rule_timing.id,
      "Monotonic_clock/Mtime/Bechamel clock reads outside lib/benchkit");
+    (Rule_obs.id,
+     "Lk_obs.Sink/Ring access outside lib/obs (use Lk_obs.Obs.emit)");
     ("allowlist", "malformed or stale lint.allow entries") ]
 
 let read_file path =
@@ -54,7 +56,8 @@ let token_rules_for file =
   let in_bin = starts_with "bin/" file in
   List.concat
     [ (if in_lib || in_bin then
-         [ Rule_determinism.check; Rule_parallel.check; Rule_timing.check ]
+         [ Rule_determinism.check; Rule_parallel.check; Rule_timing.check;
+           Rule_obs.check ]
        else []);
       (if in_lib then [ Rule_iteration.check; Rule_float_eq.check ] else []);
       (if in_lib then [ Rule_oracle.check ] else []) ]

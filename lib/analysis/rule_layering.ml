@@ -1,7 +1,8 @@
 let id = "layering"
 
 (* The dependency DAG of the reproduction, as layers:
-     lk_util -> lk_stats -> lk_knapsack -> lk_oracle -> lk_parallel
+     lk_util -> lk_stats -> lk_knapsack -> {lk_benchkit, lk_obs}
+              -> lk_oracle -> lk_parallel
               -> {lk_repro, lk_workloads} -> {lk_lca, lk_lcakp}
               -> {lk_baselines, lk_hardness, lk_ext}
    Each library may depend only on the listed lk_* libraries; external
@@ -9,9 +10,12 @@ let id = "layering"
    layers (lk_lcakp, lk_lca) must not see lk_workloads: an LCA that can
    name its workload generator can cheat the oracle model.  lk_parallel
    sits just above the oracle layer: the trial engine merges per-trial
-   oracle counters, and every repetition harness above it may fan out. *)
+   oracle counters, and every repetition harness above it may fan out.
+   lk_obs sits below lk_oracle so the oracles can emit trace events; it
+   leans on lk_benchkit only for the deterministic JSON printer. *)
 let foundation = [ "lk_util"; "lk_stats"; "lk_knapsack" ]
-let oracle_side = foundation @ [ "lk_oracle" ]
+let obs_side = foundation @ [ "lk_benchkit"; "lk_obs" ]
+let oracle_side = obs_side @ [ "lk_oracle" ]
 let parallel_side = oracle_side @ [ "lk_parallel" ]
 let lca_side = parallel_side @ [ "lk_repro" ]
 let top = lca_side @ [ "lk_lca"; "lk_lcakp"; "lk_workloads" ]
@@ -20,9 +24,10 @@ let allowed : (string * string list) list =
   [ ("lk_util", []);
     ("lk_analysis", []);
     ("lk_benchkit", [ "lk_util" ]);
+    ("lk_obs", [ "lk_util"; "lk_benchkit" ]);
     ("lk_stats", [ "lk_util" ]);
     ("lk_knapsack", [ "lk_util"; "lk_stats" ]);
-    ("lk_oracle", foundation);
+    ("lk_oracle", obs_side);
     ("lk_workloads", foundation);
     ("lk_parallel", oracle_side);
     ("lk_repro", parallel_side);
@@ -153,9 +158,9 @@ let check_dune ~path ~content =
                               (Printf.sprintf
                                  "illegal dependency %s -> %s: the layering \
                                   DAG (lk_util -> lk_stats -> lk_knapsack \
-                                  -> lk_oracle -> lk_parallel -> {lk_repro, \
-                                  lk_workloads} -> {lk_lca, lk_lcakp} -> \
-                                  top) forbids it"
+                                  -> {lk_benchkit, lk_obs} -> lk_oracle -> \
+                                  lk_parallel -> {lk_repro, lk_workloads} \
+                                  -> {lk_lca, lk_lcakp} -> top) forbids it"
                                  name d)))))
 
 let check_files files =

@@ -1,0 +1,49 @@
+let id = "observability-discipline"
+
+(* Trace events must flow through the one audited seam, [Lk_obs.Obs.emit]
+   (or its specialized [emit_*] front-ends): the byte-identical-trace
+   guarantee is only checkable if there is exactly one place events enter
+   a ring.  Raw [Sink]/[Ring] access outside lib/obs would let code push
+   events behind the façade's enabled-check (breaking zero-cost-disabled)
+   or mutate a ring a recorder owns (breaking single-ownership under the
+   parallel engine's merge).  Constructing [Lk_obs.Event] values is fine —
+   they are inert data until emitted. *)
+let exempt_dir = "lib/obs/"
+
+let banned_modules = [ "Lk_obs.Sink"; "Lk_obs.Ring" ]
+
+(* A token trips the rule when it *is* a banned module path or starts with
+   one followed by a dot ([Lk_obs.Sink.push], [Lk_obs.Ring.create]).
+   Unqualified [Sink]/[Ring] are deliberately not matched: outside lib/obs
+   they can only name those modules through an alias of [Lk_obs], and the
+   qualified form is the one this codebase writes. *)
+let hit name =
+  List.exists
+    (fun m ->
+      name = m
+      || (String.length name > String.length m
+          && String.sub name 0 (String.length m) = m
+          && name.[String.length m] = '.'))
+    banned_modules
+
+let applies_to file =
+  not
+    (String.length file >= String.length exempt_dir
+    && String.sub file 0 (String.length exempt_dir) = exempt_dir)
+
+let check ~file tokens =
+  if not (applies_to file) then []
+  else
+    Array.to_list tokens
+    |> List.filter_map (fun (t : Tokenizer.token) ->
+           if t.Tokenizer.kind = Tokenizer.Ident && hit t.Tokenizer.text then
+             Some
+               (Finding.make ~rule:id ~file ~line:t.Tokenizer.line
+                  ~col:t.Tokenizer.col
+                  (Printf.sprintf
+                     "'%s' reaches behind the observability facade; emit \
+                      trace events through Lk_obs.Obs.emit (or an emit_* \
+                      wrapper) so the event stream stays auditable at one \
+                      seam"
+                     t.Tokenizer.text))
+           else None)

@@ -1,0 +1,9 @@
+(** Rule [observability-discipline]: confine trace-event emission to the
+    [Lk_obs.Obs] façade.  Qualified access to [Lk_obs.Sink] or
+    [Lk_obs.Ring] outside [lib/obs] trips the rule — those modules are
+    implementation detail of the one audited emission seam
+    ([Lk_obs.Obs.emit]); constructing [Lk_obs.Event] values stays legal.
+    Scope: [lib/] and [bin/] sources outside [lib/obs/]. *)
+
+val id : string
+val check : file:string -> Tokenizer.token array -> Finding.t list

@@ -1,5 +1,6 @@
 module Access = Lk_oracle.Access
 module Counters = Lk_oracle.Counters
+module Obs = Lk_obs.Obs
 module Rng = Lk_util.Rng
 
 type state = { tilde : Tilde.t; decision : Convert_greedy.decision }
@@ -74,8 +75,18 @@ let params t = t.params
 let access t = t.access
 
 let run t ~fresh =
-  let tilde = Tilde.build t.params t.access ~seed:t.seed ~fresh in
-  let decision = Convert_greedy.run t.params tilde in
+  let sink = Access.sink t.access in
+  let tilde =
+    Obs.phase sink "tilde-build" (fun () ->
+        Tilde.build t.params t.access ~seed:t.seed ~fresh)
+  in
+  Obs.emit_partition sink
+    ~large:(Array.length tilde.Tilde.large_indices)
+    ~buckets:(Eps.length tilde.Tilde.eps)
+    ~samples:tilde.Tilde.samples_used;
+  let decision =
+    Obs.phase sink "convert-greedy" (fun () -> Convert_greedy.run t.params tilde)
+  in
   { tilde; decision }
 
 let run_memo t ~fresh =
@@ -86,10 +97,13 @@ let run_memo t ~fresh =
       Counters.record_cache_hit counters;
       Counters.charge_weighted_samples counters e.samples_charged;
       Counters.charge_index_queries counters e.index_charged;
+      Obs.emit_cache_hit (Access.sink t.access) ~samples:e.samples_charged
+        ~index:e.index_charged;
       Rng.restore fresh e.exit_snapshot;
       e.cached_state
   | None ->
       Counters.record_cache_miss counters;
+      Obs.emit_cache_miss (Access.sink t.access);
       let state, (index_charged, samples_charged) =
         Counters.delta (fun () -> run t ~fresh) counters
       in

@@ -1,0 +1,226 @@
+module Json = Lk_benchkit.Json
+
+let nbuckets = 64
+
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+type histogram = {
+  buckets : int array;  (* length [nbuckets] *)
+  mutable hcount : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = { instruments : (string, instrument) Hashtbl.t }
+
+let create () = { instruments = Hashtbl.create 32 }
+
+let get t name make project =
+  match Hashtbl.find_opt t.instruments name with
+  | Some i -> (
+      match project i with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "Metrics: %S already registered with another type" name))
+  | None ->
+      let v = make () in
+      Hashtbl.replace t.instruments name v;
+      match project v with Some v -> v | None -> assert false
+
+let counter t name =
+  get t name (fun () -> C { count = 0 }) (function C c -> Some c | _ -> None)
+
+let gauge t name =
+  get t name (fun () -> G { value = 0. }) (function G g -> Some g | _ -> None)
+
+let histogram t name =
+  get t name
+    (fun () -> H { buckets = Array.make nbuckets 0; hcount = 0; sum = 0.; lo = 0.; hi = 0. })
+    (function H h -> Some h | _ -> None)
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.count <- c.count + by
+
+let set g v = g.value <- v
+
+(* Log-scaled buckets: bucket 0 holds values < 1, bucket i >= 1 holds
+   [2^(i-1), 2^i), the last bucket is unbounded above.  The boundary walk
+   doubles an exact power of two, so bucketing is deterministic across
+   platforms (no transcendental calls). *)
+let bucket_of v =
+  if v < 1. then 0
+  else begin
+    let b = ref 1 and bound = ref 2. in
+    while v >= !bound && !b < nbuckets - 1 do
+      bound := !bound *. 2.;
+      b := !b + 1
+    done;
+    !b
+  end
+
+let observe h v =
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1;
+  h.sum <- h.sum +. v;
+  if h.hcount = 0 then begin
+    h.lo <- v;
+    h.hi <- v
+  end
+  else begin
+    h.lo <- Float.min h.lo v;
+    h.hi <- Float.max h.hi v
+  end;
+  h.hcount <- h.hcount + 1
+
+(* ------------------------------------------------------------- snapshots *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min_v : float;  (* meaningful only when count > 0 *)
+  max_v : float;
+  nonzero : (int * int) list;  (* (bucket index, count), ascending *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let snapshot t =
+  let all = Lk_util.Det.sorted_bindings t.instruments in
+  let counters =
+    List.filter_map (function name, C c -> Some (name, c.count) | _ -> None) all
+  in
+  let gauges =
+    List.filter_map (function name, G g -> Some (name, g.value) | _ -> None) all
+  in
+  let histograms =
+    List.filter_map
+      (function
+        | name, H h ->
+            let nonzero = ref [] in
+            for i = nbuckets - 1 downto 0 do
+              if h.buckets.(i) > 0 then nonzero := (i, h.buckets.(i)) :: !nonzero
+            done;
+            Some
+              (name, { count = h.hcount; sum = h.sum; min_v = h.lo; max_v = h.hi; nonzero = !nonzero })
+        | _ -> None)
+      all
+  in
+  { counters; gauges; histograms }
+
+let equal (a : snapshot) (b : snapshot) = a = b
+
+let schema = "lca-knapsack-metrics/1"
+
+let to_json s =
+  let hist (name, h) =
+    let opt_num enabled v = if enabled then Json.Num v else Json.Null in
+    ( name,
+      Json.Obj
+        [ ("count", Json.Num (float_of_int h.count));
+          ("sum", Json.Num h.sum);
+          ("min", opt_num (h.count > 0) h.min_v);
+          ("max", opt_num (h.count > 0) h.max_v);
+          ("buckets",
+           Json.Obj
+             (List.map
+                (fun (i, c) -> (string_of_int i, Json.Num (float_of_int c)))
+                h.nonzero)) ] )
+  in
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("counters", Json.Obj (List.map (fun (n, c) -> (n, Json.Num (float_of_int c))) s.counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Num v)) s.gauges));
+      ("histograms", Json.Obj (List.map hist s.histograms)) ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let obj_fields key json =
+  match Json.member key json with
+  | Some (Json.Obj fields) -> Ok fields
+  | _ -> Error (Printf.sprintf "metrics: missing object field %S" key)
+
+let as_int name = function
+  | Json.Num f when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "metrics: %S is not an integer" name)
+
+let as_float name = function
+  | Json.Num f -> Ok f
+  | _ -> Error (Printf.sprintf "metrics: %S is not a number" name)
+
+let rec map_fields f = function
+  | [] -> Ok []
+  | (name, v) :: rest ->
+      let* x = f name v in
+      let* xs = map_fields f rest in
+      Ok ((name, x) :: xs)
+
+let of_json json =
+  let* () =
+    match Json.member "schema" json with
+    | Some (Json.Str s) when s = schema -> Ok ()
+    | Some (Json.Str s) -> Error (Printf.sprintf "metrics: unsupported schema %S" s)
+    | _ -> Error "metrics: missing schema"
+  in
+  let* counter_fields = obj_fields "counters" json in
+  let* counters = map_fields as_int counter_fields in
+  let* gauge_fields = obj_fields "gauges" json in
+  let* gauges = map_fields as_float gauge_fields in
+  let* hist_fields = obj_fields "histograms" json in
+  let* histograms =
+    map_fields
+      (fun name v ->
+        let* count = as_int (name ^ ".count") (Option.value ~default:Json.Null (Json.member "count" v)) in
+        let* sum = as_float (name ^ ".sum") (Option.value ~default:Json.Null (Json.member "sum" v)) in
+        let bound key fallback =
+          match Json.member key v with Some (Json.Num f) -> f | _ -> fallback
+        in
+        let* bucket_fields = obj_fields "buckets" v in
+        let* nonzero =
+          map_fields
+            (fun k c ->
+              match int_of_string_opt k with
+              | Some _ -> as_int ("bucket " ^ k) c
+              | None -> Error (Printf.sprintf "metrics: bad bucket key %S" k))
+            bucket_fields
+        in
+        let nonzero = List.map (fun (k, c) -> (int_of_string k, c)) nonzero in
+        Ok { count; sum; min_v = bound "min" 0.; max_v = bound "max" 0.; nonzero })
+      hist_fields
+  in
+  Ok { counters; gauges; histograms }
+
+(* [diff ~before ~after]: counters and histogram counts subtract (a name
+   missing from [before] counts as zero; names only in [before] are
+   dropped — the stream is append-only); gauges and histogram min/max are
+   point-in-time, so the [after] value is kept as-is. *)
+let diff ~before ~after =
+  let base assoc name = Option.value ~default:0 (List.assoc_opt name assoc) in
+  let counters =
+    List.map (fun (n, c) -> (n, c - base before.counters n)) after.counters
+  in
+  let histograms =
+    List.map
+      (fun (n, h) ->
+        match List.assoc_opt n before.histograms with
+        | None -> (n, h)
+        | Some b ->
+            let bucket i = Option.value ~default:0 (List.assoc_opt i b.nonzero) in
+            let nonzero =
+              List.filter_map
+                (fun (i, c) ->
+                  let d = c - bucket i in
+                  if d = 0 then None else Some (i, d))
+                h.nonzero
+            in
+            (n, { h with count = h.count - b.count; sum = h.sum -. b.sum; nonzero }))
+      after.histograms
+  in
+  { counters; gauges = after.gauges; histograms }

@@ -1,0 +1,50 @@
+type 'a t = {
+  capacity : int;
+  mutable data : 'a array;  (* [||] until the first push, then length = capacity *)
+  mutable start : int;
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  { capacity; data = [||]; start = 0; len = 0; dropped = 0 }
+
+let capacity t = t.capacity
+let length t = t.len
+let dropped t = t.dropped
+
+let push t x =
+  if Array.length t.data = 0 then t.data <- Array.make t.capacity x;
+  if t.len < t.capacity then begin
+    t.data.((t.start + t.len) mod t.capacity) <- x;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Flight-recorder semantics: overwrite the oldest entry. *)
+    t.data.(t.start) <- x;
+    t.start <- (t.start + 1) mod t.capacity;
+    t.dropped <- t.dropped + 1
+  end
+
+let add_dropped t n =
+  if n < 0 then invalid_arg "Ring.add_dropped: negative count";
+  t.dropped <- t.dropped + n
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.((t.start + i) mod t.capacity)
+  done
+
+let to_list t =
+  let out = ref [] in
+  for i = t.len - 1 downto 0 do
+    out := t.data.((t.start + i) mod t.capacity) :: !out
+  done;
+  !out
+
+let clear t =
+  t.data <- [||];
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0

@@ -1,0 +1,35 @@
+(** Bounded ring buffer with flight-recorder semantics: pushes beyond
+    capacity overwrite the oldest entry and are counted in {!dropped}.
+    Backing storage is allocated lazily on the first push, so a ring that
+    never records costs one small record.
+
+    Single-owner: a ring may only be written from one domain.  The parallel
+    engine gives each concurrent trial its own ring and merges in index
+    order (see {!Lk_parallel.Engine}). *)
+
+type 'a t
+
+(** [create ~capacity] — capacity must be >= 1. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** Entries currently held (<= capacity). *)
+val length : 'a t -> int
+
+(** Entries overwritten since creation (or {!clear}). *)
+val dropped : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+(** [add_dropped t n] accounts [n] externally-dropped entries (used when
+    merging per-trial rings whose own overflow must not vanish). *)
+val add_dropped : 'a t -> int -> unit
+
+(** Oldest-first iteration. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** Oldest-first contents. *)
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit

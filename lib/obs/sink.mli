@@ -1,0 +1,34 @@
+(** Raw event sink: an optional ring buffer plus optional pre-bound
+    metrics instruments.  {b Do not use this module outside [lib/obs]} —
+    the [observability-discipline] lint rule confines raw [Sink]/[Ring]
+    access here so that every event emission in the tree flows through the
+    single audited entry point, {!Obs.emit}. *)
+
+(** Default ring capacity (65536 events). *)
+val default_capacity : int
+
+type t
+
+(** The disabled sink: {!push} is a no-op costing one branch. *)
+val null : t
+
+(** [create ?capacity ?metrics ?record ()] — [record] (default [true])
+    allocates the ring; [metrics] registers the standard instruments on
+    the given registry and bumps them on every push.  With [record:false]
+    and no [metrics] the result is {!null}. *)
+val create : ?capacity:int -> ?metrics:Metrics.t -> ?record:bool -> unit -> t
+
+val enabled : t -> bool
+
+(** Append an event: meters first, then the ring (if any). *)
+val push : t -> Event.t -> unit
+
+(** Recorded events, oldest first ([[]] for a meter-only or null sink). *)
+val events : t -> Event.t list
+
+(** Ring overwrites so far (0 for meter-only or null sinks). *)
+val dropped : t -> int
+
+(** Account externally-dropped events (per-trial ring overflow carried
+    into the merged sink). *)
+val add_dropped : t -> int -> unit

@@ -1,0 +1,109 @@
+module Json = Lk_benchkit.Json
+
+let schema = "lca-knapsack-trace/1"
+
+type t = {
+  label : string;
+  meta : (string * string) list;  (* sorted by key *)
+  dropped : int;
+  events : Event.t list;
+}
+
+let make ~label ?(meta = []) ?(dropped = 0) events =
+  if dropped < 0 then invalid_arg "Trace.make: negative dropped count";
+  { label; meta = List.sort compare meta; dropped; events }
+
+let label t = t.label
+let meta t = t.meta
+let dropped t = t.dropped
+let events t = t.events
+let meta_find t key = List.assoc_opt key t.meta
+
+let to_json t =
+  Json.Obj
+    [ ("schema", Json.Str schema);
+      ("label", Json.Str t.label);
+      ("meta", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) t.meta));
+      ("dropped", Json.Num (float_of_int t.dropped));
+      ("events", Json.Arr (List.map Event.to_json t.events)) ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let rec collect_events = function
+  | [] -> Ok []
+  | j :: rest ->
+      let* e = Event.of_json j in
+      let* es = collect_events rest in
+      Ok (e :: es)
+
+let of_json json =
+  let* () =
+    match Json.member "schema" json with
+    | Some (Json.Str s) when s = schema -> Ok ()
+    | Some (Json.Str s) -> Error (Printf.sprintf "trace: unsupported schema %S" s)
+    | _ -> Error "trace: missing schema"
+  in
+  let* label =
+    match Json.member "label" json with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error "trace: missing label"
+  in
+  let* meta =
+    match Json.member "meta" json with
+    | Some (Json.Obj fields) ->
+        let rec strings = function
+          | [] -> Ok []
+          | (k, Json.Str v) :: rest ->
+              let* tail = strings rest in
+              Ok ((k, v) :: tail)
+          | (k, _) :: _ -> Error (Printf.sprintf "trace: meta field %S is not a string" k)
+        in
+        strings fields
+    | _ -> Error "trace: missing meta object"
+  in
+  let* dropped =
+    match Json.member "dropped" json with
+    | Some (Json.Num f) when Float.is_integer f && f >= 0. -> Ok (int_of_float f)
+    | _ -> Error "trace: missing dropped count"
+  in
+  let* events =
+    match Json.member "events" json with
+    | Some (Json.Arr items) -> collect_events items
+    | _ -> Error "trace: missing events array"
+  in
+  Ok { label; meta = List.sort compare meta; dropped; events }
+
+let save path t = Json.write_file path (to_json t)
+
+let load path =
+  match Json.of_file path with
+  | exception Json.Parse_error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | exception Sys_error msg -> Error msg
+  | json -> of_json json
+
+let equal_events a b = List.equal Event.equal a.events b.events
+
+type divergence = { index : int; recorded : Event.t option; replayed : Event.t option }
+
+let first_divergence ~recorded ~replayed =
+  let rec go i xs ys =
+    match (xs, ys) with
+    | [], [] -> None
+    | x :: xs, y :: ys ->
+        if Event.equal x y then go (i + 1) xs ys
+        else Some { index = i; recorded = Some x; replayed = Some y }
+    | x :: _, [] -> Some { index = i; recorded = Some x; replayed = None }
+    | [], y :: _ -> Some { index = i; recorded = None; replayed = Some y }
+  in
+  go 0 recorded.events replayed.events
+
+(* Sorted (label, count) histogram of the event stream — the summary
+   [trace_tool show] prints. *)
+let event_histogram t =
+  let freq = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let l = Event.label e in
+      Hashtbl.replace freq l (1 + Option.value ~default:0 (Hashtbl.find_opt freq l)))
+    t.events;
+  Lk_util.Det.sorted_bindings freq

@@ -1,0 +1,39 @@
+(** Trace documents: a labelled, metadata-carrying event stream with a
+    deterministic JSON serialization (schema ["lca-knapsack-trace/1"]).
+
+    Serialization is byte-stable — metadata is stored sorted by key, the
+    printer is {!Lk_benchkit.Json}'s deterministic one — so two runs with
+    identical (params, seed) produce byte-identical trace files, and
+    replay verification ([bin/trace_tool verify]) can compare bytes. *)
+
+type t
+
+val schema : string
+
+(** [make ~label ?meta ?dropped events] — [meta] is sorted by key;
+    [dropped] (default 0) records ring-buffer overwrites. *)
+val make :
+  label:string -> ?meta:(string * string) list -> ?dropped:int -> Event.t list -> t
+
+val label : t -> string
+val meta : t -> (string * string) list
+val meta_find : t -> string -> string option
+val dropped : t -> int
+val events : t -> Event.t list
+
+val to_json : t -> Lk_benchkit.Json.t
+val of_json : Lk_benchkit.Json.t -> (t, string) result
+val save : string -> t -> unit
+val load : string -> (t, string) result
+
+(** Event-stream equality (label/meta/dropped excluded). *)
+val equal_events : t -> t -> bool
+
+type divergence = { index : int; recorded : Event.t option; replayed : Event.t option }
+
+(** First position where the two event streams differ ([None] fields mean
+    one stream ended early). *)
+val first_divergence : recorded:t -> replayed:t -> divergence option
+
+(** Sorted (event label, count) summary. *)
+val event_histogram : t -> (string * int) list

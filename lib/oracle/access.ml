@@ -1,3 +1,5 @@
+module Obs = Lk_obs.Obs
+
 type sampling = [ `Profit | `Weight | `Uniform ]
 
 type t = {
@@ -6,10 +8,11 @@ type t = {
   query_oracle : Query_oracle.t;
   weighted : Weighted_oracle.t;
   counters : Counters.t;
+  sink : Obs.sink;
   sampling : sampling;
 }
 
-let of_instance ?(sampling = `Profit) inst =
+let of_instance ?(sampling = `Profit) ?(sink = Obs.null) inst =
   let total = Lk_knapsack.Instance.total_profit inst in
   let normalized = Lk_knapsack.Instance.normalize inst in
   let counters = Counters.create () in
@@ -22,9 +25,10 @@ let of_instance ?(sampling = `Profit) inst =
   {
     normalized;
     profit_scale = 1. /. total;
-    query_oracle = Query_oracle.of_instance ~counters normalized;
-    weighted = Weighted_oracle.of_weights ~counters normalized sampler_weights;
+    query_oracle = Query_oracle.of_instance ~sink ~counters normalized;
+    weighted = Weighted_oracle.of_weights ~sink ~counters normalized sampler_weights;
     counters;
+    sink;
     sampling;
   }
 
@@ -37,6 +41,16 @@ let with_counters t counters =
     query_oracle = Query_oracle.with_counters t.query_oracle counters;
     weighted = Weighted_oracle.with_counters t.weighted counters;
   }
+
+let with_sink t sink =
+  {
+    t with
+    sink;
+    query_oracle = Query_oracle.with_sink t.query_oracle sink;
+    weighted = Weighted_oracle.with_sink t.weighted sink;
+  }
+
+let sink t = t.sink
 
 let normalized t = t.normalized
 let profit_scale t = t.profit_scale

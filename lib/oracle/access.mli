@@ -14,11 +14,12 @@ type t
     algorithm's analysis leans on. *)
 type sampling = [ `Profit | `Weight | `Uniform ]
 
-(** [of_instance ?sampling inst] normalizes the instance (profits to total
-    1, and weights with the capacity to total weight 1 — the paper's §4
-    convention) and builds both oracles with a shared counter set.
-    [sampling] defaults to [`Profit]. *)
-val of_instance : ?sampling:sampling -> Lk_knapsack.Instance.t -> t
+(** [of_instance ?sampling ?sink inst] normalizes the instance (profits to
+    total 1, and weights with the capacity to total weight 1 — the paper's
+    §4 convention) and builds both oracles with a shared counter set.
+    [sampling] defaults to [`Profit]; [sink] (default {!Lk_obs.Obs.null})
+    receives one trace event per oracle access. *)
+val of_instance : ?sampling:sampling -> ?sink:Lk_obs.Obs.sink -> Lk_knapsack.Instance.t -> t
 
 (** The sampling mode this access was built with. *)
 val sampling : t -> sampling
@@ -29,6 +30,18 @@ val sampling : t -> sampling
     own counter set through this, so query accounting stays exact (no lost
     increments) and merges deterministically. *)
 val with_counters : t -> Counters.t -> t
+
+(** [with_sink t sink] is a view of [t] that shares the instance, alias
+    table, and counters but emits trace events to [sink] — the tracing
+    analogue of {!with_counters}.  Sinks are single-domain: concurrent
+    trials must each get their own (see {!Lk_parallel.Engine.run_traced}),
+    exactly as with counters. *)
+val with_sink : t -> Lk_obs.Obs.sink -> t
+
+(** The trace sink this access emits to ({!Lk_obs.Obs.null} by default).
+    {!Lk_lcakp.Lca_kp} reads it to emit phase and cache events alongside
+    the oracle's own events. *)
+val sink : t -> Lk_obs.Obs.sink
 
 (** The normalized instance backing the oracles.  Experiments may read it
     directly (e.g. to compute OPT); algorithms under measurement must go

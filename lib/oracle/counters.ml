@@ -42,6 +42,16 @@ let add ~into t =
 let equal a b =
   a.index_queries = b.index_queries && a.weighted_samples = b.weighted_samples
 
+let to_json t =
+  Lk_benchkit.Json.Obj
+    [
+      ("index_queries", Lk_benchkit.Json.Num (float_of_int t.index_queries));
+      ("weighted_samples", Lk_benchkit.Json.Num (float_of_int t.weighted_samples));
+      ("total", Lk_benchkit.Json.Num (float_of_int (total t)));
+      ("cache_hits", Lk_benchkit.Json.Num (float_of_int t.cache_hits));
+      ("cache_misses", Lk_benchkit.Json.Num (float_of_int t.cache_misses));
+    ]
+
 let delta f t =
   let q0 = t.index_queries and s0 = t.weighted_samples in
   let result = f () in

@@ -56,6 +56,12 @@ val add : into:t -> t -> unit
     equal — that is the accounting contract the cache preserves. *)
 val equal : t -> t -> bool
 
+(** Deterministic JSON snapshot (fixed field order: index_queries,
+    weighted_samples, total, cache_hits, cache_misses) on
+    {!Lk_benchkit.Json}, for machine-readable counter dumps
+    ([bin/lcakp_cli --counters]). *)
+val to_json : t -> Lk_benchkit.Json.t
+
 (** [delta f t] runs [f ()] and returns its result together with the
     [(index_queries, weighted_samples)] consumed during the call. *)
 val delta : (unit -> 'a) -> t -> 'a * (int * int)

@@ -1,19 +1,22 @@
+module Obs = Lk_obs.Obs
+
 exception Budget_exhausted
 
 type t = {
   n : int;
   capacity : float;
   counters : Counters.t;
+  sink : Obs.sink;
   reveal : int -> Lk_knapsack.Item.t;
   budget : int option;
   mutable used : int;
 }
 
-let make ~n ~capacity ~counters reveal =
-  { n; capacity; counters; reveal; budget = None; used = 0 }
+let make ?(sink = Obs.null) ~n ~capacity ~counters reveal =
+  { n; capacity; counters; sink; reveal; budget = None; used = 0 }
 
-let of_instance ~counters inst =
-  make
+let of_instance ?sink ~counters inst =
+  make ?sink
     ~n:(Lk_knapsack.Instance.size inst)
     ~capacity:(Lk_knapsack.Instance.capacity inst)
     ~counters
@@ -24,6 +27,7 @@ let capacity t = t.capacity
 let counters t = t.counters
 let with_budget t budget = { t with budget = Some budget; used = 0 }
 let with_counters t counters = { t with counters; used = 0 }
+let with_sink t sink = { t with sink }
 
 let item t i =
   if i < 0 || i >= t.n then invalid_arg "Query_oracle.item: index out of range";
@@ -33,4 +37,5 @@ let item t i =
       t.used <- t.used + 1
   | None -> ());
   Counters.charge_index_query t.counters;
+  Obs.emit_index_query t.sink i;
   t.reveal i

@@ -8,13 +8,16 @@
 
 type t
 
-(** [make ~n ~capacity ~counters reveal] builds an oracle over the item
-    function [reveal : int -> Item.t]. *)
+(** [make ?sink ~n ~capacity ~counters reveal] builds an oracle over the
+    item function [reveal : int -> Item.t].  [sink] (default
+    {!Lk_obs.Obs.null}) receives one [Oracle_query] trace event per
+    revealed item. *)
 val make :
+  ?sink:Lk_obs.Obs.sink ->
   n:int -> capacity:float -> counters:Counters.t -> (int -> Lk_knapsack.Item.t) -> t
 
-(** [of_instance ~counters inst] wraps a materialized instance. *)
-val of_instance : counters:Counters.t -> Lk_knapsack.Instance.t -> t
+(** [of_instance ?sink ~counters inst] wraps a materialized instance. *)
+val of_instance : ?sink:Lk_obs.Obs.sink -> counters:Counters.t -> Lk_knapsack.Instance.t -> t
 
 val size : t -> int
 val capacity : t -> float
@@ -31,6 +34,10 @@ val with_budget : t -> int -> t
     store but charging [counters] instead; used by the parallel engine to
     give each concurrent trial its own exact, race-free accounting. *)
 val with_counters : t -> Counters.t -> t
+
+(** [with_sink t sink] returns a view of [t] emitting trace events to
+    [sink]; the per-trial analogue of {!with_counters} for tracing. *)
+val with_sink : t -> Lk_obs.Obs.sink -> t
 
 (** [item t i] reveals item [i], charging one query.  Raises
     [Invalid_argument] when [i] is out of range. *)

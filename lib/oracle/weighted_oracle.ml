@@ -1,29 +1,36 @@
+module Obs = Lk_obs.Obs
+
 type t = {
   instance : Lk_knapsack.Instance.t;
   alias : Lk_stats.Alias.t;
   counters : Counters.t;
+  sink : Obs.sink;
 }
 
-let of_weights ~counters instance weights =
+let of_weights ?(sink = Obs.null) ~counters instance weights =
   if Array.length weights <> Lk_knapsack.Instance.size instance then
     invalid_arg "Weighted_oracle.of_weights: length mismatch";
-  { instance; alias = Lk_stats.Alias.create weights; counters }
+  { instance; alias = Lk_stats.Alias.create weights; counters; sink }
 
-let of_instance ~counters instance =
-  of_weights ~counters instance (Lk_knapsack.Instance.profits instance)
+let of_instance ?sink ~counters instance =
+  of_weights ?sink ~counters instance (Lk_knapsack.Instance.profits instance)
 
 let size t = Lk_knapsack.Instance.size t.instance
 let counters t = t.counters
 let with_counters t counters = { t with counters }
+let with_sink t sink = { t with sink }
 
 let sample t rng =
   Counters.charge_weighted_sample t.counters;
   let i = Lk_stats.Alias.sample t.alias rng in
+  Obs.emit_weighted_sample t.sink i;
   (i, Lk_knapsack.Instance.item t.instance i)
 
-(* Batched: one bulk charge and one alias batch fill.  Stream consumption
-   and charge totals are identical to [k] successive [sample] calls. *)
+(* Batched: one bulk charge, one bulk trace event, and one alias batch
+   fill.  Stream consumption and charge totals are identical to [k]
+   successive [sample] calls. *)
 let sample_many t rng k =
   Counters.charge_weighted_samples t.counters k;
+  Obs.emit_weighted_batch t.sink k;
   let idx = Lk_stats.Alias.sample_many t.alias rng k in
   Array.map (fun i -> (i, Lk_knapsack.Instance.item t.instance i)) idx

@@ -8,14 +8,18 @@
 
 type t
 
-(** [of_instance ~counters inst] builds a sampler over [inst]'s profits.
-    Raises if the total profit is zero. *)
-val of_instance : counters:Counters.t -> Lk_knapsack.Instance.t -> t
+(** [of_instance ?sink ~counters inst] builds a sampler over [inst]'s
+    profits.  [sink] (default {!Lk_obs.Obs.null}) receives one
+    [Oracle_query] trace event per draw.  Raises if the total profit is
+    zero. *)
+val of_instance : ?sink:Lk_obs.Obs.sink -> counters:Counters.t -> Lk_knapsack.Instance.t -> t
 
-(** [of_weights ~counters inst weights] samples indices of [inst]
+(** [of_weights ?sink ~counters inst weights] samples indices of [inst]
     proportionally to an arbitrary non-negative [weights] array (oracle
     ablations; see {!Lk_oracle.Access.sampling}). *)
-val of_weights : counters:Counters.t -> Lk_knapsack.Instance.t -> float array -> t
+val of_weights :
+  ?sink:Lk_obs.Obs.sink ->
+  counters:Counters.t -> Lk_knapsack.Instance.t -> float array -> t
 
 (** Number of items. *)
 val size : t -> int
@@ -26,8 +30,13 @@ val counters : t -> Counters.t
     charges [counters] instead; see {!Query_oracle.with_counters}. *)
 val with_counters : t -> Counters.t -> t
 
+(** [with_sink t sink] shares the alias table but emits trace events to
+    [sink]; the tracing analogue of {!with_counters}. *)
+val with_sink : t -> Lk_obs.Obs.sink -> t
+
 (** [sample t rng] draws one item: [(index, item)], charging one sample. *)
 val sample : t -> Lk_util.Rng.t -> int * Lk_knapsack.Item.t
 
-(** [sample_many t rng k] draws [k] items i.i.d. *)
+(** [sample_many t rng k] draws [k] items i.i.d. (one bulk charge and one
+    bulk [Weighted_batch] trace event). *)
 val sample_many : t -> Lk_util.Rng.t -> int -> (int * Lk_knapsack.Item.t) array

@@ -74,6 +74,39 @@ let run_counted ?jobs ?chunk ~base ~trials f =
   Array.iter (fun c -> Counters.add ~into:merged c) per_trial;
   (results, merged)
 
+module Obs = Lk_obs.Obs
+
+(* Tracing under parallelism follows the counters playbook: rings are
+   single-owner, so each trial records into a private sink, and the
+   per-trial streams are stitched into [sink] at the barrier in
+   trial-index order.  The merged stream is a function of (base, trials,
+   f) alone — the same for every [jobs] — and each trial's events arrive
+   bracketed by [Trial_start]/[Trial_end] with an [Rng_split] marker
+   naming the split index.  When [sink] is disabled the trials get
+   {!Obs.null} and this is exactly {!run}. *)
+let run_traced ?jobs ?chunk ~sink ~base ~trials f =
+  if not (Obs.enabled sink) then
+    run ?jobs ?chunk ~base ~trials (fun ~index ~rng -> f ~index ~rng ~sink:Obs.null)
+  else begin
+    if trials < 0 then invalid_arg "Engine.run_traced: trials must be non-negative";
+    (* Ring-only per-trial sinks: the parent's meters (if any) are bumped
+       once per event at the merge below, never concurrently. *)
+    let per_trial = Array.init trials (fun _ -> Obs.recorder ()) in
+    let results =
+      run ?jobs ?chunk ~base ~trials (fun ~index ~rng ->
+          f ~index ~rng ~sink:per_trial.(index))
+    in
+    Array.iteri
+      (fun i s ->
+        Obs.emit sink (Lk_obs.Event.Trial_start i);
+        Obs.emit sink (Lk_obs.Event.Rng_split (Printf.sprintf "trial-%d" i));
+        List.iter (Obs.emit sink) (Obs.events s);
+        Obs.add_dropped sink (Obs.dropped s);
+        Obs.emit sink (Lk_obs.Event.Trial_end i))
+      per_trial;
+    results
+  end
+
 let mean_of ?jobs ?chunk ~base ~trials f =
   if trials <= 0 then invalid_arg "Engine.mean_of: trials must be positive";
   let values = run ?jobs ?chunk ~base ~trials f in

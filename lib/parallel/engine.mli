@@ -50,6 +50,23 @@ val run_counted :
   (index:int -> rng:Lk_util.Rng.t -> counters:Lk_oracle.Counters.t -> 'a) ->
   'a array * Lk_oracle.Counters.t
 
+(** [run_traced] is {!run} for trial functions that emit trace events:
+    when [sink] is enabled, trial [i] records into a private ring-only
+    sink, and at the barrier the per-trial streams are appended to [sink]
+    in index order, each bracketed as [Trial_start i; Rng_split "trial-i";
+    ...events...; Trial_end i] (per-trial ring overflow is carried over via
+    the parent's dropped count).  The merged stream is therefore identical
+    for every [jobs] value.  When [sink] is disabled, trials receive
+    {!Lk_obs.Obs.null} and this is exactly {!run}. *)
+val run_traced :
+  ?jobs:int ->
+  ?chunk:int ->
+  sink:Lk_obs.Obs.sink ->
+  base:Lk_util.Rng.t ->
+  trials:int ->
+  (index:int -> rng:Lk_util.Rng.t -> sink:Lk_obs.Obs.sink -> 'a) ->
+  'a array
+
 (** [mean_of ?jobs ?chunk ~base ~trials f] averages a float-valued trial,
     summing in index order (bitwise identical across [jobs]).  Raises
     [Invalid_argument] if [trials <= 0]. *)

@@ -9,6 +9,7 @@ module Layer = Lk_analysis.Rule_layering
 module Oracle = Lk_analysis.Rule_oracle
 module Par = Lk_analysis.Rule_parallel
 module Timing = Lk_analysis.Rule_timing
+module ObsRule = Lk_analysis.Rule_obs
 module Engine = Lk_analysis.Engine
 
 let rules_of findings = List.map (fun f -> f.F.rule) findings
@@ -209,6 +210,39 @@ let test_parallelism_negative () =
     (Par.check ~file:"lib/lca/x.ml" benign)
 
 (* ------------------------------------------------------------------ *)
+(* observability-discipline *)
+
+let test_obs_discipline_positive () =
+  let bad =
+    T.tokenize
+      "let s = Lk_obs.Sink.push sink e\n\
+       let r = Lk_obs.Ring.create ~capacity:8\n"
+  in
+  check_rules "raw Sink/Ring access flagged in lib"
+    [ "observability-discipline"; "observability-discipline" ]
+    (ObsRule.check ~file:"lib/oracle/x.ml" bad);
+  check_rules "and in bin" [ "observability-discipline" ]
+    (ObsRule.check ~file:"bin/experiments.ml"
+       (T.tokenize "let () = Lk_obs.Sink.push sink e\n"))
+
+let test_obs_discipline_negative () =
+  let bad = T.tokenize "let s = Lk_obs.Sink.push sink e\n" in
+  check_rules "lib/obs itself is exempt" []
+    (ObsRule.check ~file:"lib/obs/obs.ml" bad);
+  let benign =
+    T.tokenize
+      "let () = Lk_obs.Obs.emit sink (Lk_obs.Event.Trial_start 3)\n\
+       let () = Obs.emit_index_query sink i\n\
+       let x = sink_ring_like\n"
+  in
+  check_rules "Obs facade, Event construction, substrings all fine" []
+    (ObsRule.check ~file:"lib/oracle/x.ml" benign);
+  check_rules "the allowlist knows the rule id" []
+    (Allow.known_rule_warnings
+       (Allow.parse "observability-discipline lib/a/x.ml # vetted\n")
+       ~known:(List.map fst Engine.rules))
+
+(* ------------------------------------------------------------------ *)
 (* timing-discipline *)
 
 let test_timing_positive () =
@@ -364,6 +398,11 @@ let () =
         [
           Alcotest.test_case "positive" `Quick test_timing_positive;
           Alcotest.test_case "negative" `Quick test_timing_negative;
+        ] );
+      ( "observability-discipline",
+        [
+          Alcotest.test_case "positive" `Quick test_obs_discipline_positive;
+          Alcotest.test_case "negative" `Quick test_obs_discipline_negative;
         ] );
       ( "allowlist",
         [

@@ -695,7 +695,7 @@ let all_experiments =
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e11", e11); ("e12", e12);
   ]
 
-let run_selected names quick jobs time trace metrics =
+let run_selected names quick jobs time trace metrics profile =
   Lk_util.Log_setup.init ();
   (match jobs with
   | Some j when j < 1 ->
@@ -703,15 +703,16 @@ let run_selected names quick jobs time trace metrics =
       exit 2
   | _ -> ());
   let names = if names = [] || names = [ "all" ] then List.map fst all_experiments else names in
-  (* One sink for the whole invocation; Obs.null unless --trace/--metrics
-     asked for it, so the default path pays one branch per emission site
-     and stdout stays byte-identical either way. *)
+  (* One sink for the whole invocation; Obs.null unless
+     --trace/--metrics/--profile asked for it, so the default path pays
+     one branch per emission site and stdout stays byte-identical either
+     way.  --trace and --profile both need the recorded events. *)
   let registry = match metrics with Some _ -> Some (Metrics.create ()) | None -> None in
   let sink =
-    match (trace, registry) with
-    | None, None -> Obs.null
-    | Some _, _ -> Obs.recorder ?metrics:registry ()
-    | None, Some r -> Obs.meter r
+    match (trace, profile, registry) with
+    | None, None, None -> Obs.null
+    | None, None, Some r -> Obs.meter r
+    | _ -> Obs.recorder ?metrics:registry ()
   in
   List.iter
     (fun name ->
@@ -749,6 +750,15 @@ let run_selected names quick jobs time trace metrics =
       TraceDoc.save path
         (TraceDoc.make ~label:"experiments" ~meta ~dropped:(Obs.dropped sink)
            (Obs.events sink))
+  | None -> ());
+  (match profile with
+  | Some path ->
+      (* The profile is a pure function of the (jobs-invariant) event
+         stream, so this file is byte-identical for every --jobs count —
+         the property bin/obs_gate leans on. *)
+      Lk_profile.Profile.save path
+        (Lk_profile.Profile.of_events ~label:"experiments"
+           ~dropped:(Obs.dropped sink) (Obs.events sink))
   | None -> ());
   match (metrics, registry) with
   | Some path, Some r ->
@@ -799,13 +809,23 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let profile_arg =
+  let doc =
+    "Aggregate the run's event stream into a query-complexity profile \
+     (per-phase counts, per-trial quantiles; schema lca-knapsack-obs/1) \
+     and write it to $(docv).  Byte-identical across repeats and --jobs \
+     counts; gate a profile against a baseline with 'obs_gate'."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "Regenerate the LCA-for-Knapsack reproduction experiments (EXPERIMENTS.md)" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
     Term.(
-      const (fun names quick jobs time trace metrics ->
-          run_selected names quick jobs time trace metrics)
-      $ names_arg $ quick_arg $ jobs_arg $ time_arg $ trace_arg $ metrics_arg)
+      const (fun names quick jobs time trace metrics profile ->
+          run_selected names quick jobs time trace metrics profile)
+      $ names_arg $ quick_arg $ jobs_arg $ time_arg $ trace_arg $ metrics_arg
+      $ profile_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -15,9 +15,9 @@ module Io = Lk_workloads.Io
 module Gen = Lk_workloads.Gen
 module Tbl = Lk_util.Tbl
 
-let make_algo epsilon seed scale path =
+let make_algo ?sink epsilon seed scale path =
   let instance = Io.read path in
-  let access = Lk_oracle.Access.of_instance instance in
+  let access = Lk_oracle.Access.of_instance ?sink instance in
   let params = Lk_lcakp.Params.practical ~sample_scale:scale epsilon in
   (instance, access, Lk_lcakp.Lca_kp.create params access ~seed:(Int64.of_int seed))
 
@@ -29,10 +29,31 @@ let write_counters access = function
       Lk_benchkit.Json.write_file path
         (Lk_oracle.Counters.to_json (Lk_oracle.Access.counters access))
 
+(* --metrics FILE: meter the run on a registry (no ring, so no recording
+   overhead) and write the snapshot as OpenMetrics text — the same
+   exposition Prometheus scrapes, shared with `trace_tool export`. *)
+let metrics_registry = function
+  | None -> None
+  | Some _ -> Some (Lk_obs.Metrics.create ())
+
+let metrics_sink = function
+  | None -> None
+  | Some r -> Some (Lk_obs.Obs.meter r)
+
+let write_metrics registry = function
+  | None -> ()
+  | Some path ->
+      let r = Option.get registry in
+      Lk_profile.Export.write_text path
+        (Lk_profile.Export.openmetrics (Lk_obs.Metrics.snapshot r))
+
 (* ---- query ---- *)
 
-let run_query epsilon seed scale path indices counters =
-  let instance, access, algo = make_algo epsilon seed scale path in
+let run_query epsilon seed scale path indices counters metrics =
+  let registry = metrics_registry metrics in
+  let instance, access, algo =
+    make_algo ?sink:(metrics_sink registry) epsilon seed scale path
+  in
   let indices =
     if indices = [] then List.init (Instance.size instance) Fun.id else indices
   in
@@ -42,12 +63,16 @@ let run_query epsilon seed scale path indices counters =
       let yes = Lk_lcakp.Lca_kp.query algo ~fresh i in
       Printf.printf "item %d: %s\n" i (if yes then "IN" else "OUT"))
     indices;
-  write_counters access counters
+  write_counters access counters;
+  write_metrics registry metrics
 
 (* ---- solve ---- *)
 
-let run_solve epsilon seed scale path counters =
-  let _, access, algo = make_algo epsilon seed scale path in
+let run_solve epsilon seed scale path counters metrics =
+  let registry = metrics_registry metrics in
+  let _, access, algo =
+    make_algo ?sink:(metrics_sink registry) epsilon seed scale path
+  in
   let norm = Lk_oracle.Access.normalized access in
   let state = Lk_lcakp.Lca_kp.run algo ~fresh:(Rng.create (Int64.of_int ((seed * 31) + 1))) in
   let sol = Lk_lcakp.Lca_kp.induced_solution algo state in
@@ -60,7 +85,8 @@ let run_solve epsilon seed scale path counters =
     bracket.Lk_knapsack.Reference.upper bracket.Lk_knapsack.Reference.method_used;
   Printf.printf "# samples drawn this run: %d\n" (Lk_lcakp.Lca_kp.samples_per_query algo state);
   List.iter (fun i -> Printf.printf "%d\n" i) (Solution.indices sol);
-  write_counters access counters
+  write_counters access counters;
+  write_metrics registry metrics
 
 (* ---- stats ---- *)
 
@@ -124,16 +150,24 @@ let counters_arg =
                  weighted samples, cache hits/misses) to $(docv) as \
                  deterministic JSON.  Stdout is unaffected.")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Meter the run's event stream on a metrics registry and \
+                 write the snapshot to $(docv) as OpenMetrics text \
+                 exposition (counters, gauges, log2 histograms).  Stdout \
+                 is unaffected.")
+
 let query_cmd =
   let indices = Arg.(value & pos_right 0 int [] & info [] ~docv:"INDEX" ~doc:"Indices (default: all).") in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer LCA membership queries (one stateless run per query)")
-    Term.(const run_query $ epsilon_arg $ seed_arg $ scale_arg $ path_arg $ indices $ counters_arg)
+    Term.(const run_query $ epsilon_arg $ seed_arg $ scale_arg $ path_arg $ indices $ counters_arg $ metrics_arg)
 
 let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Materialize the solution one LCA run answers according to")
-    Term.(const run_solve $ epsilon_arg $ seed_arg $ scale_arg $ path_arg $ counters_arg)
+    Term.(const run_solve $ epsilon_arg $ seed_arg $ scale_arg $ path_arg $ counters_arg $ metrics_arg)
 
 let stats_cmd =
   Cmd.v

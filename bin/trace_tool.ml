@@ -275,6 +275,52 @@ let diff a b =
   let ta = load_or_fail a and tb = load_or_fail b in
   report_divergence ~recorded:ta ~replayed:tb
 
+let profile_cmd_impl path out =
+  let t = load_or_fail path in
+  let p = Lk_profile.Profile.of_trace t in
+  List.iter
+    (fun m -> Printf.eprintf "warning: unbalanced stream: %s\n" m)
+    p.Lk_profile.Profile.issues;
+  (match out with
+  | Some o ->
+      Lk_profile.Profile.save o p;
+      Printf.printf "wrote %d phase row(s) to %s\n"
+        (List.length p.Lk_profile.Profile.rows)
+        o
+  | None -> print_string (Json.to_string (Lk_profile.Profile.to_json p)));
+  exit_ok
+
+let export path format out =
+  let write_json json =
+    match out with
+    | Some o ->
+        Json.write_file o json;
+        Printf.printf "wrote %s\n" o
+    | None -> print_string (Json.to_string json)
+  in
+  let write_text s =
+    match out with
+    | Some o ->
+        Lk_profile.Export.write_text o s;
+        Printf.printf "wrote %s\n" o
+    | None -> print_string s
+  in
+  (match format with
+  | `Perfetto -> write_json (Lk_profile.Export.perfetto (load_or_fail path))
+  | `Folded -> write_text (Lk_profile.Export.folded (load_or_fail path))
+  | `Openmetrics ->
+      (* The input here is a metrics snapshot (lca-knapsack-metrics/1),
+         not a trace — e.g. the file written by `experiments --metrics`. *)
+      let snap =
+        match Metrics.of_json (Json.of_file path) with
+        | Ok s -> s
+        | Error m -> fail "%s: %s" path m
+        | exception Json.Parse_error m -> fail "%s: %s" path m
+        | exception Sys_error m -> fail "%s" m
+      in
+      write_text (Lk_profile.Export.openmetrics snap));
+  exit_ok
+
 let metrics_diff a b =
   let load path =
     match Metrics.of_json (Json.of_file path) with
@@ -349,9 +395,41 @@ let metrics_diff_cmd =
   let b = Arg.(required & pos 1 (some string) None & info [] ~docv:"AFTER" ~doc:"New snapshot.") in
   Cmd.v (Cmd.info "metrics-diff" ~doc) Term.(const metrics_diff $ a $ b)
 
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+
+let profile_cmd =
+  let doc =
+    "Aggregate a trace into a query-complexity profile (schema \
+     lca-knapsack-obs/1): per-phase event/query counts with self/total \
+     accounting and per-trial quantiles.  Profiles feed obs_gate."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const profile_cmd_impl $ file_pos ~doc:"Trace file to profile." $ out_arg)
+
+let export_cmd =
+  let doc =
+    "Export a trace (formats: perfetto, folded) or a metrics snapshot \
+     (format: openmetrics) for external viewers — Perfetto/chrome://tracing, \
+     flamegraph.pl, Prometheus."
+  in
+  let format =
+    let formats =
+      [ ("perfetto", `Perfetto); ("folded", `Folded); ("openmetrics", `Openmetrics) ]
+    in
+    Arg.(required & opt (some (enum formats)) None
+         & info [ "format"; "f" ] ~docv:"FORMAT"
+             ~doc:"Output format: $(b,perfetto), $(b,folded), or $(b,openmetrics).")
+  in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const export $ file_pos ~doc:"Trace or metrics-snapshot file." $ format
+          $ out_arg)
+
 let cmd =
   let doc = "Record, replay-verify, and inspect LCA-knapsack trace files" in
   Cmd.group (Cmd.info "trace_tool" ~doc)
-    [ record_cmd; verify_cmd; show_cmd; diff_cmd; metrics_diff_cmd ]
+    [ record_cmd; verify_cmd; show_cmd; diff_cmd; metrics_diff_cmd; profile_cmd;
+      export_cmd ]
 
 let () = exit (Cmd.eval' cmd)

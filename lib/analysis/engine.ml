@@ -13,7 +13,8 @@ let rules =
     (Rule_timing.id,
      "Monotonic_clock/Mtime/Bechamel clock reads outside lib/benchkit");
     (Rule_obs.id,
-     "Lk_obs.Sink/Ring access outside lib/obs (use Lk_obs.Obs.emit)");
+     "Lk_obs.Sink/Ring access outside lib/obs (use Lk_obs.Obs.emit); \
+      Lk_profile.Render access outside lib/profile (use Lk_profile.Export)");
     ("allowlist", "malformed or stale lint.allow entries") ]
 
 let read_file path =

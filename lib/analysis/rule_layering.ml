@@ -12,7 +12,11 @@ let id = "layering"
    sits just above the oracle layer: the trial engine merges per-trial
    oracle counters, and every repetition harness above it may fan out.
    lk_obs sits below lk_oracle so the oracles can emit trace events; it
-   leans on lk_benchkit only for the deterministic JSON printer. *)
+   leans on lk_benchkit only for the deterministic JSON printer.
+   lk_profile is a sibling consumer of lk_obs (trace analytics and
+   exporters): it may read event streams and metrics snapshots but must
+   not see oracles or the engine, so profiles stay pure functions of a
+   recorded stream. *)
 let foundation = [ "lk_util"; "lk_stats"; "lk_knapsack" ]
 let obs_side = foundation @ [ "lk_benchkit"; "lk_obs" ]
 let oracle_side = obs_side @ [ "lk_oracle" ]
@@ -27,6 +31,7 @@ let allowed : (string * string list) list =
     ("lk_obs", [ "lk_util"; "lk_benchkit" ]);
     ("lk_stats", [ "lk_util" ]);
     ("lk_knapsack", [ "lk_util"; "lk_stats" ]);
+    ("lk_profile", obs_side);
     ("lk_oracle", obs_side);
     ("lk_workloads", foundation);
     ("lk_parallel", oracle_side);

@@ -1,49 +1,62 @@
 let id = "observability-discipline"
 
-(* Trace events must flow through the one audited seam, [Lk_obs.Obs.emit]
-   (or its specialized [emit_*] front-ends): the byte-identical-trace
-   guarantee is only checkable if there is exactly one place events enter
-   a ring.  Raw [Sink]/[Ring] access outside lib/obs would let code push
-   events behind the façade's enabled-check (breaking zero-cost-disabled)
-   or mutate a ring a recorder owns (breaking single-ownership under the
-   parallel engine's merge).  Constructing [Lk_obs.Event] values is fine —
-   they are inert data until emitted. *)
-let exempt_dir = "lib/obs/"
+(* Observability has two audited seams, and this rule guards both.
+   Emission: trace events must flow through [Lk_obs.Obs.emit] (or its
+   specialized [emit_*] front-ends) — raw [Sink]/[Ring] access outside
+   lib/obs would let code push events behind the façade's enabled-check
+   (breaking zero-cost-disabled) or mutate a ring a recorder owns
+   (breaking single-ownership under the parallel engine's merge).
+   Exposition: Perfetto / flamegraph / OpenMetrics format assembly lives
+   in [Lk_profile.Render] alone — callers go through [Lk_profile.Export],
+   so format details stay auditable in one module.  Constructing
+   [Lk_obs.Event] values is fine anywhere — they are inert data until
+   emitted. *)
 
-let banned_modules = [ "Lk_obs.Sink"; "Lk_obs.Ring" ]
+(* Each banned module path carries the one directory whose files may use
+   it, and the rationale appended to the finding message. *)
+let banned =
+  [ ( "Lk_obs.Sink",
+      "lib/obs/",
+      "reaches behind the observability facade; emit trace events through \
+       Lk_obs.Obs.emit (or an emit_* wrapper) so the event stream stays \
+       auditable at one seam" );
+    ( "Lk_obs.Ring",
+      "lib/obs/",
+      "reaches behind the observability facade; emit trace events through \
+       Lk_obs.Obs.emit (or an emit_* wrapper) so the event stream stays \
+       auditable at one seam" );
+    ( "Lk_profile.Render",
+      "lib/profile/",
+      "assembles exposition formats outside lib/profile; go through \
+       Lk_profile.Export so Perfetto/flamegraph/OpenMetrics details stay \
+       confined to one seam" ) ]
 
-(* A token trips the rule when it *is* a banned module path or starts with
-   one followed by a dot ([Lk_obs.Sink.push], [Lk_obs.Ring.create]).
-   Unqualified [Sink]/[Ring] are deliberately not matched: outside lib/obs
-   they can only name those modules through an alias of [Lk_obs], and the
-   qualified form is the one this codebase writes. *)
-let hit name =
-  List.exists
-    (fun m ->
-      name = m
-      || (String.length name > String.length m
-          && String.sub name 0 (String.length m) = m
-          && name.[String.length m] = '.'))
-    banned_modules
+(* A token trips an entry when it *is* the banned module path or starts
+   with it followed by a dot ([Lk_obs.Sink.push], [Lk_profile.Render.folded]).
+   Unqualified tails ([Sink], [Render]) are deliberately not matched:
+   outside the owning library they can only name those modules through an
+   alias, and the qualified form is the one this codebase writes. *)
+let matches m name =
+  name = m
+  || (String.length name > String.length m
+      && String.sub name 0 (String.length m) = m
+      && name.[String.length m] = '.')
 
-let applies_to file =
-  not
-    (String.length file >= String.length exempt_dir
-    && String.sub file 0 (String.length exempt_dir) = exempt_dir)
+let in_dir dir file =
+  String.length file >= String.length dir
+  && String.sub file 0 (String.length dir) = dir
 
 let check ~file tokens =
-  if not (applies_to file) then []
-  else
-    Array.to_list tokens
-    |> List.filter_map (fun (t : Tokenizer.token) ->
-           if t.Tokenizer.kind = Tokenizer.Ident && hit t.Tokenizer.text then
-             Some
-               (Finding.make ~rule:id ~file ~line:t.Tokenizer.line
-                  ~col:t.Tokenizer.col
-                  (Printf.sprintf
-                     "'%s' reaches behind the observability facade; emit \
-                      trace events through Lk_obs.Obs.emit (or an emit_* \
-                      wrapper) so the event stream stays auditable at one \
-                      seam"
-                     t.Tokenizer.text))
-           else None)
+  Array.to_list tokens
+  |> List.concat_map (fun (t : Tokenizer.token) ->
+         if t.Tokenizer.kind <> Tokenizer.Ident then []
+         else
+           List.filter_map
+             (fun (m, dir, why) ->
+               if matches m t.Tokenizer.text && not (in_dir dir file) then
+                 Some
+                   (Finding.make ~rule:id ~file ~line:t.Tokenizer.line
+                      ~col:t.Tokenizer.col
+                      (Printf.sprintf "'%s' %s" t.Tokenizer.text why))
+               else None)
+             banned)

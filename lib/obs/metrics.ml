@@ -63,6 +63,9 @@ let bucket_of v =
   end
 
 let observe h v =
+  (* Negated comparison also rejects NaN, which would otherwise corrupt
+     [sum] and the lo/hi extrema irreversibly. *)
+  if not (v >= 0.) then invalid_arg "Metrics.observe: value must be non-negative";
   let b = bucket_of v in
   h.buckets.(b) <- h.buckets.(b) + 1;
   h.sum <- h.sum +. v;

@@ -32,7 +32,8 @@ val set : gauge -> float -> unit
 (** [observe h v] adds [v] to the histogram.  Buckets are log-scaled:
     bucket 0 holds values < 1, bucket [i >= 1] holds [[2^(i-1), 2^i)); the
     boundary walk uses exact float doubling, so bucketing is deterministic
-    across platforms. *)
+    across platforms.  Raises [Invalid_argument] when [v] is negative or
+    NaN — every metered quantity in the tree is a count. *)
 val observe : histogram -> float -> unit
 
 (** Number of buckets (64: bucket 63 is unbounded above). *)

@@ -34,9 +34,7 @@ let phase s name f =
   if not (Sink.enabled s) then f ()
   else begin
     Sink.push s (Event.Phase_enter name);
-    let result = f () in
-    Sink.push s (Event.Phase_exit name);
-    result
+    Fun.protect ~finally:(fun () -> Sink.push s (Event.Phase_exit name)) f
   end
 
 let events = Sink.events

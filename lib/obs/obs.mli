@@ -38,7 +38,9 @@ val emit_rng_split : sink -> string -> unit
 val emit_partition : sink -> large:int -> buckets:int -> samples:int -> unit
 
 (** [phase s name f] brackets [f ()] with [Phase_enter]/[Phase_exit]
-    events (no bracket when disabled). *)
+    events (no bracket when disabled).  The exit event is emitted even
+    when [f] raises ([Fun.protect]), so an exception can never leave an
+    unbalanced bracket in the stream. *)
 val phase : sink -> string -> (unit -> 'a) -> 'a
 
 (** Recorded events, oldest first. *)

@@ -99,10 +99,14 @@ let run_traced ?jobs ?chunk ~sink ~base ~trials f =
     Array.iteri
       (fun i s ->
         Obs.emit sink (Lk_obs.Event.Trial_start i);
-        Obs.emit sink (Lk_obs.Event.Rng_split (Printf.sprintf "trial-%d" i));
-        List.iter (Obs.emit sink) (Obs.events s);
-        Obs.add_dropped sink (Obs.dropped s);
-        Obs.emit sink (Lk_obs.Event.Trial_end i))
+        (* Close the trial bracket even if a metered parent sink raises
+           mid-merge: an unbalanced stream would poison every consumer. *)
+        Fun.protect
+          ~finally:(fun () -> Obs.emit sink (Lk_obs.Event.Trial_end i))
+          (fun () ->
+            Obs.emit sink (Lk_obs.Event.Rng_split (Printf.sprintf "trial-%d" i));
+            List.iter (Obs.emit sink) (Obs.events s);
+            Obs.add_dropped sink (Obs.dropped s)))
       per_trial;
     results
   end

@@ -1,0 +1,31 @@
+module Event = Lk_obs.Event
+module Trace = Lk_obs.Trace
+
+(* Oracle queries charged by one event — the quantity the Perfetto
+   counter track plots.  Mirrors Span.cost_of_event's query fields. *)
+let queries_of_event (e : Event.t) =
+  match e with
+  | Event.Oracle_query (Event.Index_query _)
+  | Event.Oracle_query (Event.Weighted_sample _) ->
+      1
+  | Event.Oracle_query (Event.Weighted_batch k) -> k
+  | _ -> 0
+
+let perfetto tr =
+  let events = Trace.events tr in
+  let n = List.length events in
+  let cumulative = Array.make (n + 1) 0 in
+  List.iteri
+    (fun i e -> cumulative.(i + 1) <- cumulative.(i) + queries_of_event e)
+    events;
+  let root, _issues = Span.of_events events in
+  Render.perfetto ~root ~cumulative
+
+let folded tr = Render.folded (Profile.of_trace tr).Profile.rows
+
+let openmetrics = Render.openmetrics
+
+let write_text path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc

@@ -1,0 +1,22 @@
+(** Exporter entry points.  {!Render} owns the raw format assembly (and is
+    lint-confined to [lib/profile]); this module derives the renderer
+    inputs — span tree, cumulative query curve, aggregation rows — from a
+    trace or metrics snapshot, so binaries only ever hand over domain
+    objects. *)
+
+(** [perfetto trace] — Chrome trace-event JSON for the trace's event
+    stream, loadable in Perfetto / chrome://tracing.  Unbalanced streams
+    still render (residual spans are closed at end of stream). *)
+val perfetto : Lk_obs.Trace.t -> Lk_benchkit.Json.t
+
+(** [folded trace] — folded-stack flamegraph text keyed by self query
+    cost, ready for [flamegraph.pl] / speedscope. *)
+val folded : Lk_obs.Trace.t -> string
+
+(** [openmetrics snapshot] — OpenMetrics text exposition, ending in
+    [# EOF]. *)
+val openmetrics : Lk_obs.Metrics.snapshot -> string
+
+(** [write_text path contents] — write verbatim (binary mode, so output
+    is byte-identical across platforms). *)
+val write_text : string -> string -> unit

@@ -1,0 +1,122 @@
+module Json = Lk_benchkit.Json
+module Metrics = Lk_obs.Metrics
+
+let num i = Json.Num (float_of_int i)
+
+(* ------------------------------------------------------------- perfetto *)
+
+(* One process/thread pair is enough: the recorded stream is already the
+   deterministic single-owner merge (Engine.run_traced), so nesting — not
+   concurrency — is the structure worth drawing. *)
+let span_event (s : Span.t) =
+  Json.Obj
+    [ ("name", Json.Str (Span.display_name s));
+      ("cat", Json.Str (match s.Span.trial with Some _ -> "trial" | None -> "phase"));
+      ("ph", Json.Str "X");
+      ("ts", num s.Span.start);
+      ("dur", num (s.Span.stop - s.Span.start));
+      ("pid", num 0);
+      ("tid", num 0);
+      ("args",
+       Json.Obj
+         [ ("queries_self", num (Span.queries s.Span.self));
+           ("queries_total", num (Span.queries s.Span.total));
+           ("events_total", num s.Span.total.Span.events) ]) ]
+
+let counter_event ~cumulative t =
+  Json.Obj
+    [ ("name", Json.Str "oracle.queries");
+      ("ph", Json.Str "C");
+      ("ts", num t);
+      ("pid", num 0);
+      ("args", Json.Obj [ ("queries", num cumulative.(t)) ]) ]
+
+let perfetto ~root ~cumulative =
+  let spans = ref [] and ticks = ref [] in
+  let rec walk (s : Span.t) =
+    spans := span_event s :: !spans;
+    ticks := s.Span.start :: s.Span.stop :: !ticks;
+    List.iter walk s.Span.children
+  in
+  walk root;
+  let counters =
+    List.sort_uniq compare !ticks |> List.map (counter_event ~cumulative)
+  in
+  Json.Obj
+    [ ("traceEvents", Json.Arr (List.rev !spans @ counters));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", Json.Obj [ ("timebase", Json.Str "event-index") ]) ]
+
+(* --------------------------------------------------------------- folded *)
+
+let folded rows =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (r : Profile.row) ->
+      let q = Span.queries r.Profile.self in
+      if q > 0 then Buffer.add_string b (Printf.sprintf "%s %d\n" r.Profile.path q))
+    rows;
+  Buffer.contents b
+
+(* ----------------------------------------------------------- openmetrics *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+(* Integer-valued floats print as integers (every value the registry
+   meters is one); anything else falls back to the %.17g round-trip form
+   the JSON printer uses. *)
+let om_float f =
+  if Float.is_integer f && Float.abs f < 9.2e18 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+(* Upper bound of log2 bucket [i]: bucket 0 holds values < 1, bucket
+   i >= 1 holds [2^(i-1), 2^i).  Exact float doubling, like the registry's
+   bucketing walk — no transcendental calls. *)
+let bucket_bound i =
+  let b = ref 1. in
+  for _ = 1 to i do
+    b := !b *. 2.
+  done;
+  !b
+
+let add_histogram buf name (h : Metrics.hist_snapshot) =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+  let top =
+    List.fold_left (fun acc (i, _) -> max acc i) (-1) h.Metrics.nonzero
+  in
+  let cum = ref 0 in
+  (* [le] lines only up to the last occupied bounded bucket; the final
+     (unbounded) bucket is covered by +Inf. *)
+  for i = 0 to min top (Metrics.nbuckets - 2) do
+    cum := !cum + Option.value ~default:0 (List.assoc_opt i h.Metrics.nonzero);
+    Buffer.add_string buf
+      (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (om_float (bucket_bound i)) !cum)
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.Metrics.count);
+  Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (om_float h.Metrics.sum));
+  Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.Metrics.count)
+
+let openmetrics (s : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let name = sanitize name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+      Buffer.add_string buf (Printf.sprintf "%s_total %d\n" name v))
+    s.Metrics.counters;
+  List.iter
+    (fun (name, v) ->
+      let name = sanitize name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" name (om_float v)))
+    s.Metrics.gauges;
+  List.iter
+    (fun (name, h) -> add_histogram buf (sanitize name) h)
+    s.Metrics.histograms;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

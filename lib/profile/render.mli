@@ -1,0 +1,30 @@
+(** Raw exposition-format assembly — the {b confined} half of the exporter
+    layer.  All Chrome-trace-event (Perfetto) JSON construction, folded
+    flamegraph line formatting, and OpenMetrics text exposition in the
+    tree lives in this one module; the [observability-discipline] lint
+    rule bans [Lk_profile.Render] access outside [lib/profile], so format
+    details stay auditable at one seam.  Callers go through
+    {!Export}, which prepares the inputs. *)
+
+(** [perfetto ~root ~cumulative] — Chrome trace-event JSON
+    ([{"traceEvents": [...]}]) loadable in Perfetto / chrome://tracing.
+    The timebase is synthetic and deterministic: one tick per recorded
+    event (there are no clocks in a deterministic trace).  Spans become
+    complete (["ph":"X"]) duration events in preorder carrying self/total
+    query costs in [args]; [cumulative] (length = event count + 1, oracle
+    queries charged before each tick) drives an ["oracle.queries"] counter
+    track sampled at every span boundary. *)
+val perfetto : root:Span.t -> cumulative:int array -> Lk_benchkit.Json.t
+
+(** [folded rows] — folded-stack flamegraph text (one
+    ["path;to;span <value>"] line per aggregation row, sorted by path),
+    keyed by {e self} query cost; zero-cost rows are omitted, matching
+    the flamegraph convention that frames are sized by their weight. *)
+val folded : Profile.row list -> string
+
+(** [openmetrics snapshot] — OpenMetrics / Prometheus text exposition of a
+    metrics snapshot: counters as [<name>_total], gauges verbatim,
+    log2-histograms as cumulative [le]-bucketed histogram families
+    (bucket boundaries are the registry's exact powers of two), ending
+    with [# EOF].  Metric names are sanitized ([.] becomes [_]). *)
+val openmetrics : Lk_obs.Metrics.snapshot -> string

@@ -225,10 +225,26 @@ let test_obs_discipline_positive () =
     (ObsRule.check ~file:"bin/experiments.ml"
        (T.tokenize "let () = Lk_obs.Sink.push sink e\n"))
 
+let test_obs_exporter_confinement () =
+  let bad =
+    T.tokenize "let j = Lk_profile.Render.perfetto ~root ~cumulative\n"
+  in
+  check_rules "Render access flagged outside lib/profile"
+    [ "observability-discipline" ]
+    (ObsRule.check ~file:"bin/trace_tool.ml" bad);
+  check_rules "lib/profile itself is exempt" []
+    (ObsRule.check ~file:"lib/profile/export.ml" bad);
+  check_rules "the Export facade is fine everywhere" []
+    (ObsRule.check ~file:"bin/trace_tool.ml"
+       (T.tokenize "let j = Lk_profile.Export.perfetto trace\n"))
+
 let test_obs_discipline_negative () =
   let bad = T.tokenize "let s = Lk_obs.Sink.push sink e\n" in
   check_rules "lib/obs itself is exempt" []
     (ObsRule.check ~file:"lib/obs/obs.ml" bad);
+  check_rules "but lib/profile is not exempt from the Sink ban"
+    [ "observability-discipline" ]
+    (ObsRule.check ~file:"lib/profile/span.ml" bad);
   let benign =
     T.tokenize
       "let () = Lk_obs.Obs.emit sink (Lk_obs.Event.Trial_start 3)\n\
@@ -403,6 +419,8 @@ let () =
         [
           Alcotest.test_case "positive" `Quick test_obs_discipline_positive;
           Alcotest.test_case "negative" `Quick test_obs_discipline_negative;
+          Alcotest.test_case "exporter confinement" `Quick
+            test_obs_exporter_confinement;
         ] );
       ( "allowlist",
         [

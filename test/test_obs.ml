@@ -132,6 +132,32 @@ let test_metrics_histogram_buckets () =
       Alcotest.(check (float 0.)) "max" 1024. hs.Metrics.max_v
   | _ -> Alcotest.fail "expected exactly one histogram"
 
+let test_metrics_histogram_edges () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "edge" in
+  Metrics.observe h 0.;
+  Metrics.observe h 1.;
+  (* max_int rounds to 2^62 as a float, landing in the last bucket *)
+  Metrics.observe h (float_of_int max_int);
+  let s = Metrics.snapshot m in
+  (match s.Metrics.histograms with
+  | [ ("edge", hs) ] ->
+      Alcotest.(check (list (pair int int)))
+        "extreme values bucket correctly"
+        [ (0, 1); (1, 1); (Metrics.nbuckets - 1, 1) ]
+        hs.Metrics.nonzero;
+      Alcotest.(check int) "count" 3 hs.Metrics.count
+  | _ -> Alcotest.fail "expected exactly one histogram");
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Metrics.observe: value must be non-negative") (fun () ->
+      Metrics.observe h (-1.));
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Metrics.observe: value must be non-negative") (fun () ->
+      Metrics.observe h Float.nan);
+  (* rejected values must leave the histogram untouched *)
+  let s' = Metrics.snapshot m in
+  Alcotest.(check bool) "rejection leaves state unchanged" true (Metrics.equal s s')
+
 let test_metrics_json_roundtrip_and_diff () =
   let m = Metrics.create () in
   Metrics.incr ~by:7 (Metrics.counter m "events");
@@ -148,7 +174,15 @@ let test_metrics_json_roundtrip_and_diff () =
   Alcotest.(check (list (pair string int))) "counter delta" [ ("events", 3) ] d.Metrics.counters;
   (match d.Metrics.histograms with
   | [ ("batch", hs) ] -> Alcotest.(check int) "hist count delta" 1 hs.Metrics.count
-  | _ -> Alcotest.fail "expected batch histogram in diff")
+  | _ -> Alcotest.fail "expected batch histogram in diff");
+  (* the diff document itself round-trips byte-stably through JSON *)
+  let bytes_of s = Json.to_string (Metrics.to_json s) in
+  match Metrics.of_json (Json.parse (bytes_of d)) with
+  | Ok d' ->
+      Alcotest.(check bool) "diff roundtrips" true (Metrics.equal d d');
+      Alcotest.(check string) "diff serialization byte-stable" (bytes_of d)
+        (bytes_of d')
+  | Error e -> Alcotest.fail e
 
 (* ---------- Sink / Obs facade ---------- *)
 
@@ -186,6 +220,13 @@ let test_recorder_records_and_meters () =
   Alcotest.(check int) "batch metered by size" 11 (counter "oracle.weighted_samples");
   Alcotest.(check int) "cache hits" 1 (counter "lca.cache_hits");
   Alcotest.(check int) "phase enters" 1 (counter "phase.enters")
+
+let test_phase_exit_on_exception () =
+  let s = Obs.recorder () in
+  (try Obs.phase s "boom" (fun () -> raise Exit) with Exit -> ());
+  Alcotest.(check (list event)) "bracket closed despite the raise"
+    [ Event.Phase_enter "boom"; Event.Phase_exit "boom" ]
+    (Obs.events s)
 
 (* ---------- Trace documents ---------- *)
 
@@ -327,12 +368,14 @@ let () =
         [
           Alcotest.test_case "counters and gauges" `Quick test_metrics_counter_gauge;
           Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram_buckets;
+          Alcotest.test_case "histogram edge values" `Quick test_metrics_histogram_edges;
           Alcotest.test_case "json roundtrip + diff" `Quick test_metrics_json_roundtrip_and_diff;
         ] );
       ( "sink",
         [
           Alcotest.test_case "null is inert" `Quick test_null_sink_is_inert;
           Alcotest.test_case "recorder + meters" `Quick test_recorder_records_and_meters;
+          Alcotest.test_case "phase exit on exception" `Quick test_phase_exit_on_exception;
         ] );
       ( "trace",
         [

@@ -14,14 +14,28 @@ let empty = { file = "lint.allow"; entries = []; errors = [] }
 (* Entry syntax, one per line:
      <rule-id> <path>[:<line>] # <justification>
    Blank lines and lines starting with '#' are comments.  The justification
-   is mandatory: an exception nobody can explain is not vetted. *)
-let parse ?(file = "lint.allow") content =
+   is mandatory: an exception nobody can explain is not vetted.  When
+   [known] is given, an entry naming a rule id outside it is rejected as an
+   error right here — a typo'd rule id would otherwise allowlist nothing
+   and surface only as a confusing "stale" warning. *)
+let parse ?known ?(file = "lint.allow") content =
   let entries = ref [] and errors = ref [] in
   let err ln msg =
     errors :=
       Finding.make ~rule:"allowlist" ~file ~line:ln ~col:1 msg :: !errors
   in
   let parse_target ln rule target justification =
+    if
+      match known with
+      | Some ids -> not (List.mem rule ids)
+      | None -> false
+    then
+      err ln
+        (Printf.sprintf
+           "unknown rule id '%s' in entry for %s; run `bin/lint \
+            --list-rules` for the valid ids"
+           rule target)
+    else
     let path, line =
       match String.rindex_opt target ':' with
       | Some i -> (
@@ -66,14 +80,14 @@ let parse ?(file = "lint.allow") content =
     (String.split_on_char '\n' content);
   { file; entries = List.rev !entries; errors = List.rev !errors }
 
-let load path =
+let load ?known path =
   if not (Sys.file_exists path) then { empty with file = path }
   else begin
     let ic = open_in_bin path in
     let len = in_channel_length ic in
     let content = really_input_string ic len in
     close_in ic;
-    parse ~file:path content
+    parse ?known ~file:path content
   end
 
 let is_allowed t ~rule ~file ~line =
@@ -111,15 +125,3 @@ let stale t =
 
 let entries t = t.entries
 let errors t = t.errors
-
-let known_rule_warnings t ~known =
-  List.filter_map
-    (fun e ->
-      if List.mem e.rule known then None
-      else
-        Some
-          (Finding.make ~severity:Finding.Warning ~rule:"allowlist"
-             ~file:t.file ~line:e.source_line ~col:1
-             (Printf.sprintf "unknown rule id '%s' in entry for %s" e.rule
-                e.path)))
-    t.entries

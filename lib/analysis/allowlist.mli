@@ -22,12 +22,17 @@ type t
 (** An allowlist with no entries (what {!load} returns for a missing file). *)
 val empty : t
 
-(** [parse ?file content] parses the text of an allowlist; malformed or
-    justification-less entries become [allowlist] errors in {!errors}. *)
-val parse : ?file:string -> string -> t
+(** [parse ?known ?file content] parses the text of an allowlist;
+    malformed or justification-less entries become [allowlist] errors in
+    {!errors}.  When [known] (the valid rule-id registry) is given, an
+    entry naming an unknown rule id is *rejected at load time* — it
+    becomes an [allowlist] error and allowlists nothing, instead of
+    silently matching nothing and surfacing later as "stale". *)
+val parse : ?known:string list -> ?file:string -> string -> t
 
-(** [load path] reads and parses [path]; a missing file is an empty list. *)
-val load : string -> t
+(** [load ?known path] reads and parses [path]; a missing file is an
+    empty list. *)
+val load : ?known:string list -> string -> t
 
 (** [is_allowed t ~rule ~file ~line] checks (and marks used) a matching
     entry. *)
@@ -40,10 +45,6 @@ val filter : t -> Finding.t list -> Finding.t list
 (** [stale t] is a warning per entry never marked used — call after
     {!filter}. *)
 val stale : t -> Finding.t list
-
-(** [known_rule_warnings t ~known] warns about entries naming unknown rule
-    ids. *)
-val known_rule_warnings : t -> known:string list -> Finding.t list
 
 val entries : t -> entry list
 val errors : t -> Finding.t list

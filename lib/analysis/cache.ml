@@ -1,0 +1,157 @@
+module Json = Lk_benchkit.Json
+module Smap = Map.Make (String)
+
+type entry = {
+  digest : string;
+  summary : Modgraph.summary;
+  findings : Finding.t list;
+}
+
+type t = entry Smap.t
+
+let empty = Smap.empty
+let schema = "lk-lint-cache/1"
+
+(* --- serialization ------------------------------------------------------ *)
+
+let num i = Json.Num (float_of_int i)
+
+let int_of_json j =
+  match Json.to_float j with Some f -> int_of_float f | None -> 0
+
+let str_of_json j = Option.value (Json.to_string_opt j) ~default:""
+
+let occ_json (o : Modgraph.occ) =
+  Json.Arr [ Json.Str o.Modgraph.text; num o.Modgraph.line; num o.Modgraph.col ]
+
+let occ_of_json = function
+  | Json.Arr [ Json.Str text; l; c ] ->
+      Some { Modgraph.text; line = int_of_json l; col = int_of_json c }
+  | _ -> None
+
+let binding_json (b : Modgraph.binding) =
+  Json.Obj
+    [ ("name", Json.Str b.Modgraph.name);
+      ("line", num b.Modgraph.line);
+      ("col", num b.Modgraph.col);
+      ("hot", Json.Bool b.Modgraph.hot);
+      ("mutates", Json.Bool b.Modgraph.mutates);
+      ("refs", Json.Arr (List.map occ_json b.Modgraph.refs)) ]
+
+let bool_member key j =
+  match Json.member key j with Some (Json.Bool b) -> b | _ -> false
+
+let binding_of_json j =
+  match (Json.member "name" j, Json.member "line" j, Json.member "col" j) with
+  | Some name, Some line, Some col ->
+      Some
+        {
+          Modgraph.name = str_of_json name;
+          line = int_of_json line;
+          col = int_of_json col;
+          hot = bool_member "hot" j;
+          mutates = bool_member "mutates" j;
+          refs =
+            (match Json.member "refs" j with
+            | Some (Json.Arr l) -> List.filter_map occ_of_json l
+            | _ -> []);
+        }
+  | _ -> None
+
+let finding_json (f : Finding.t) =
+  Json.Obj
+    [ ("rule", Json.Str f.Finding.rule);
+      ("severity", Json.Str (Finding.severity_label f.Finding.severity));
+      ("file", Json.Str f.Finding.file);
+      ("line", num f.Finding.line);
+      ("col", num f.Finding.col);
+      ("message", Json.Str f.Finding.message) ]
+
+let finding_of_json j =
+  match
+    (Json.member "rule" j, Json.member "file" j, Json.member "message" j)
+  with
+  | Some rule, Some file, Some message ->
+      let severity =
+        match Json.member "severity" j with
+        | Some (Json.Str "warning") -> Finding.Warning
+        | _ -> Finding.Error
+      in
+      Some
+        (Finding.make ~severity ~rule:(str_of_json rule)
+           ~file:(str_of_json file)
+           ~line:(int_of_json (Option.value (Json.member "line" j) ~default:(num 0)))
+           ~col:(int_of_json (Option.value (Json.member "col" j) ~default:(num 0)))
+           (str_of_json message))
+  | _ -> None
+
+let entry_json path e =
+  Json.Obj
+    [ ("path", Json.Str path);
+      ("digest", Json.Str e.digest);
+      ("opens", Json.Arr (List.map (fun o -> Json.Str o) e.summary.Modgraph.opens));
+      ( "aliases",
+        Json.Arr
+          (List.map
+             (fun (m, p) -> Json.Arr [ Json.Str m; Json.Str p ])
+             e.summary.Modgraph.aliases) );
+      ("bindings", Json.Arr (List.map binding_json e.summary.Modgraph.bindings));
+      ("findings", Json.Arr (List.map finding_json e.findings)) ]
+
+let entry_of_json j =
+  match (Json.member "path" j, Json.member "digest" j) with
+  | Some (Json.Str path), Some (Json.Str digest) ->
+      let list key of_json =
+        match Json.member key j with
+        | Some (Json.Arr l) -> List.filter_map of_json l
+        | _ -> []
+      in
+      Some
+        ( path,
+          {
+            digest;
+            summary =
+              {
+                Modgraph.opens =
+                  list "opens" (function Json.Str s -> Some s | _ -> None);
+                aliases =
+                  list "aliases" (function
+                    | Json.Arr [ Json.Str m; Json.Str p ] -> Some (m, p)
+                    | _ -> None);
+                bindings = list "bindings" binding_of_json;
+              };
+            findings = list "findings" finding_of_json;
+          } )
+  | _ -> None
+
+(* --- API ---------------------------------------------------------------- *)
+
+let load path =
+  if not (Sys.file_exists path) then empty
+  else
+    match Json.of_file path with
+    | exception _ -> empty
+    | j -> (
+        match (Json.member "schema" j, Json.member "files" j) with
+        | Some (Json.Str s), Some (Json.Arr files) when s = schema ->
+            List.fold_left
+              (fun acc fj ->
+                match entry_of_json fj with
+                | Some (p, e) -> Smap.add p e acc
+                | None -> acc)
+              empty files
+        | _ -> empty)
+
+let find t ~path ~digest =
+  match Smap.find_opt path t with
+  | Some e when e.digest = digest -> Some e
+  | _ -> None
+
+let add t ~path entry = Smap.add path entry t
+
+let save t path =
+  let files =
+    Smap.bindings t |> List.map (fun (p, e) -> entry_json p e)
+  in
+  Json.write_file path
+    (Json.Obj [ ("schema", Json.Str schema); ("files", Json.Arr files) ])

@@ -1,0 +1,36 @@
+(** Incremental per-file analysis cache, keyed by content digest.
+
+    One entry per [.ml] file: the file's MD5 digest, its {!Modgraph}
+    summary, and the token-rule findings computed for it.  On a warm run
+    the engine skips tokenization, summary extraction and the per-file
+    token rules for every file whose digest is unchanged — the
+    whole-program passes (call graph, effect inference, reachability
+    rules, allowlist) always run fresh, because they depend on the
+    *combination* of files, not on any one of them.
+
+    The cache file is {!Lk_benchkit.Json} (schema [lk-lint-cache/1]),
+    written deterministically with entries sorted by path, so two runs
+    over the same tree produce byte-identical cache files.  A cache that
+    fails to parse, or carries a different schema tag, is treated as
+    empty — a stale or corrupt cache can cost time, never correctness. *)
+
+type entry = {
+  digest : string;  (** MD5 hex of the file contents *)
+  summary : Modgraph.summary;
+  findings : Finding.t list;  (** token-rule findings, pre-allowlist *)
+}
+
+type t
+
+val empty : t
+
+(** [load path] — missing/unreadable/mismatched-schema files are
+    {!empty}. *)
+val load : string -> t
+
+val find : t -> path:string -> digest:string -> entry option
+
+val add : t -> path:string -> entry -> t
+
+(** [save t path] writes entries sorted by path (deterministic bytes). *)
+val save : t -> string -> unit

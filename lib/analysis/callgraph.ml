@@ -1,0 +1,241 @@
+type node = {
+  file : string;
+  name : string;
+  line : int;
+  col : int;
+  hot : bool;
+  mutates : bool;
+  refs : Modgraph.occ list;
+  callees : string list;
+  externals : Modgraph.occ list;
+}
+
+module Smap = Map.Make (String)
+
+type t = { by_id : node Smap.t }
+
+let id ~file ~name = file ^ "#" ^ name
+
+let is_upper_start s = s <> "" && s.[0] >= 'A' && s.[0] <= 'Z'
+let is_lower_start s = s <> "" && ((s.[0] >= 'a' && s.[0] <= 'z') || s.[0] = '_')
+
+let module_of_file file =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+
+(* Split a dotted occurrence into (leading capitalized module path,
+   remaining segments, projection?) after stripping leading lowercase
+   receivers: [inst.Instance.items] and [.Item.profit] are field
+   *projections* — if their trailing name is not a known binding they
+   must not smear into the coarse per-file node. *)
+let split_path text =
+  let projection = text <> "" && text.[0] = '.' in
+  let segs = String.split_on_char '.' text in
+  let segs = List.filter (fun s -> s <> "") segs in
+  let rec drop_lower dropped = function
+    | s :: rest when is_lower_start s && List.exists is_upper_start rest ->
+        drop_lower true rest
+    | l -> (dropped, l)
+  in
+  let dropped, segs = drop_lower false segs in
+  let rec take_caps acc = function
+    | s :: rest when is_upper_start s -> take_caps (s :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let caps, vals = take_caps [] segs in
+  (caps, vals, projection || dropped)
+
+let build ~libmap summaries =
+  (* (dir, Module) -> file, and file -> summary *)
+  let file_of_mod =
+    List.fold_left
+      (fun m (file, _) ->
+        Smap.add (Filename.dirname file ^ "/" ^ module_of_file file) file m)
+      Smap.empty summaries
+  in
+  let summary_of_file =
+    List.fold_left (fun m (file, s) -> Smap.add file s m) Smap.empty summaries
+  in
+  let lookup_mod dir m = Smap.find_opt (dir ^ "/" ^ m) file_of_mod in
+  let lib_dir name = List.assoc_opt name libmap in
+  (* Resolve a module path (capitalized segments) seen from [file] to a
+     target file plus the segments left over once the file is reached. *)
+  let resolve_module_path file (summary : Modgraph.summary) caps =
+    let dir = Filename.dirname file in
+    let substitute = function
+      | head :: rest as original -> (
+          match List.assoc_opt head summary.Modgraph.aliases with
+          | Some path ->
+              let path_segs = String.split_on_char '.' path in
+              path_segs @ rest
+          | None -> original)
+      | [] -> []
+    in
+    let via_path = function
+      | [] -> None
+      | head :: rest -> (
+          match lib_dir head with
+          | Some d -> (
+              match rest with
+              | m :: rest' -> (
+                  match lookup_mod d m with
+                  | Some tf -> Some (tf, rest')
+                  | None -> None)
+              | [] -> None)
+          | None -> (
+              match lookup_mod dir head with
+              | Some tf -> Some (tf, rest)
+              | None ->
+                  (* try each opened path: [open Lk_x] makes [head] a
+                     candidate module of lib x; [open Lk_x.M] makes it a
+                     candidate submodule of that file *)
+                  List.find_map
+                    (fun o ->
+                      let osegs = String.split_on_char '.' o in
+                      match osegs with
+                      | [ l ] -> (
+                          match lib_dir l with
+                          | Some d -> (
+                              match lookup_mod d head with
+                              | Some tf -> Some (tf, rest)
+                              | None -> None)
+                          | None -> (
+                              match lookup_mod dir l with
+                              | Some tf -> Some (tf, head :: rest)
+                              | None -> None))
+                      | l :: m :: _ -> (
+                          match lib_dir l with
+                          | Some d -> (
+                              match lookup_mod d m with
+                              | Some tf -> Some (tf, head :: rest)
+                              | None -> None)
+                          | None -> None)
+                      | [] -> None)
+                    summary.Modgraph.opens))
+    in
+    via_path (substitute caps)
+  in
+  (* Pick a binding inside [tf] for leftover segments [subs] and value
+     [v]; fall back to the coarse "*" node, except for the conventional
+     type name [t] whose lookup failure is a type annotation, and for
+     record projections ([it.Item.weight]) whose unresolved trailing
+     name is a field read, not a call. *)
+  let binding_in ~projection tf subs v =
+    match Smap.find_opt tf summary_of_file with
+    | None -> None
+    | Some (s : Modgraph.summary) ->
+        let has n =
+          List.exists (fun (b : Modgraph.binding) -> b.Modgraph.name = n) s.Modgraph.bindings
+        in
+        let candidates =
+          (match subs with
+          | [] -> [ v ]
+          | _ -> [ String.concat "." (subs @ [ v ]); List.hd subs; v ])
+        in
+        (match List.find_opt has candidates with
+        | Some n -> Some (id ~file:tf ~name:n)
+        | None ->
+            if v = "t" || projection then None
+            else Some (id ~file:tf ~name:"*"))
+  in
+  let resolve file summary (occ : Modgraph.occ) =
+    let caps, vals, projection = split_path occ.Modgraph.text in
+    match (caps, vals) with
+    | [], [ v ] ->
+        (* unqualified value: same-file binding, else a binding of an
+           opened project module *)
+        let self = Smap.find_opt file summary_of_file in
+        let in_file tf =
+          match Smap.find_opt tf summary_of_file with
+          | Some s
+            when List.exists
+                   (fun (b : Modgraph.binding) -> b.Modgraph.name = v)
+                   s.Modgraph.bindings ->
+              Some (id ~file:tf ~name:v)
+          | _ -> None
+        in
+        let same =
+          match self with
+          | Some s
+            when List.exists
+                   (fun (b : Modgraph.binding) -> b.Modgraph.name = v)
+                   s.Modgraph.bindings ->
+              Some (id ~file ~name:v)
+          | _ -> None
+        in
+        (match same with
+        | Some _ -> same
+        | None ->
+            List.find_map
+              (fun o ->
+                match resolve_module_path file summary (String.split_on_char '.' o) with
+                | Some (tf, []) -> in_file tf
+                | _ -> None)
+              summary.Modgraph.opens)
+    | [], _ -> None
+    | caps, [] -> (
+        (* pure module/constructor mention: harmless unless it is an
+           aliased module value like [Rng.t] — no call edge *)
+        ignore caps;
+        None)
+    | caps, v :: _ -> (
+        match resolve_module_path file summary caps with
+        | Some (tf, subs) -> binding_in ~projection tf subs v
+        | None -> None)
+  in
+  let nodes = ref [] in
+  List.iter
+    (fun (file, (summary : Modgraph.summary)) ->
+      let bindings = summary.Modgraph.bindings in
+      List.iter
+        (fun (b : Modgraph.binding) ->
+          let callees = ref [] and externals = ref [] in
+          List.iter
+            (fun occ ->
+              match resolve file summary occ with
+              | Some callee_id ->
+                  if callee_id <> id ~file ~name:b.Modgraph.name then
+                    callees := callee_id :: !callees
+              | None -> externals := occ :: !externals)
+            b.Modgraph.refs;
+          nodes :=
+            {
+              file;
+              name = b.Modgraph.name;
+              line = b.Modgraph.line;
+              col = b.Modgraph.col;
+              hot = b.Modgraph.hot;
+              mutates = b.Modgraph.mutates;
+              refs = b.Modgraph.refs;
+              callees = List.sort_uniq compare !callees;
+              externals = List.rev !externals;
+            }
+            :: !nodes)
+        bindings;
+      (* the coarse per-file node *)
+      nodes :=
+        {
+          file;
+          name = "*";
+          line = 1;
+          col = 1;
+          hot = false;
+          mutates = false;
+          refs = [];
+          callees =
+            List.map
+              (fun (b : Modgraph.binding) -> id ~file ~name:b.Modgraph.name)
+              bindings
+            |> List.sort_uniq compare;
+          externals = [];
+        }
+        :: !nodes)
+    summaries;
+  let by_id =
+    List.fold_left
+      (fun m n -> Smap.add (id ~file:n.file ~name:n.name) n m)
+      Smap.empty !nodes
+  in
+  { by_id }
+
+let nodes t = Smap.bindings t.by_id |> List.map snd
+let find t node_id = Smap.find_opt node_id t.by_id

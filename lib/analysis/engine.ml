@@ -16,6 +16,7 @@ let rules =
      "Lk_obs.Sink/Ring access outside lib/obs (use Lk_obs.Obs.emit); \
       Lk_profile.Render access outside lib/profile (use Lk_profile.Export)");
     ("allowlist", "malformed or stale lint.allow entries") ]
+  @ Rule_effects.rules
 
 let read_file path =
   let ic = open_in_bin path in
@@ -63,7 +64,13 @@ let token_rules_for file =
       (if in_lib then [ Rule_iteration.check; Rule_float_eq.check ] else []);
       (if in_lib then [ Rule_oracle.check ] else []) ]
 
-let run ?allow_file ~root () =
+type report = {
+  files_checked : int;
+  findings : Finding.t list;
+  effects : Effects.table;
+}
+
+let analyze ?allow_file ?cache_file ?hot_manifest ~root () =
   let lib_files = walk root "lib" in
   let bin_files = walk root "bin" in
   let ml_files =
@@ -71,41 +78,118 @@ let run ?allow_file ~root () =
       (fun f -> Filename.check_suffix f ".ml")
       (lib_files @ bin_files)
   in
-  let token_findings =
-    List.concat_map
+  (* Per-file pass, through the digest-keyed cache when one is given:
+     tokenize once, run the token rules and extract the module summary,
+     or reuse both from the cache on a digest hit. *)
+  let cache0 =
+    match cache_file with Some p -> Cache.load p | None -> Cache.empty
+  in
+  let cache = ref cache0 in
+  let per_file =
+    List.map
       (fun file ->
-        match token_rules_for file with
-        | [] -> []
-        | checks ->
-            let tokens = Tokenizer.tokenize (read_file (Filename.concat root file)) in
-            List.concat_map (fun check -> check ~file tokens) checks)
+        let content = read_file (Filename.concat root file) in
+        let digest = Digest.to_hex (Digest.string content) in
+        match Cache.find !cache ~path:file ~digest with
+        | Some entry -> (file, entry.Cache.summary, entry.Cache.findings)
+        | None ->
+            let tokens = Tokenizer.tokenize content in
+            let findings =
+              List.concat_map
+                (fun check -> check ~file tokens)
+                (token_rules_for file)
+            in
+            let summary = Modgraph.of_tokens tokens in
+            cache :=
+              Cache.add !cache ~path:file
+                { Cache.digest; summary; findings };
+            (file, summary, findings))
       ml_files
   in
+  (match cache_file with
+  | Some p -> Cache.save !cache p
+  | None -> ());
+  let token_findings = List.concat_map (fun (_, _, f) -> f) per_file in
   let mli_findings = Rule_mli.check ~files:lib_files in
   let dune_files =
     List.filter (fun f -> Filename.basename f = "dune") lib_files
   in
-  let layering_findings =
-    Rule_layering.check_files
-      (List.map (fun f -> (f, read_file (Filename.concat root f))) dune_files)
+  let dune_contents =
+    List.map (fun f -> (f, read_file (Filename.concat root f))) dune_files
   in
+  let layering_findings = Rule_layering.check_files dune_contents in
+  (* Whole-program pass: library map -> call graph -> effect fixpoint ->
+     reachability rules. *)
+  let libmap =
+    List.filter_map
+      (fun (path, content) ->
+        match Rule_layering.library_name ~content with
+        | Some name ->
+            Some (String.capitalize_ascii name, Filename.dirname path)
+        | None -> None)
+      dune_contents
+  in
+  let callgraph =
+    Callgraph.build ~libmap
+      (List.map (fun (file, summary, _) -> (file, summary)) per_file)
+  in
+  let effects = Effects.infer callgraph in
+  let manifest =
+    let path =
+      match hot_manifest with
+      | Some p -> p
+      | None -> Filename.concat root "lint.hot"
+    in
+    Rule_effects.load_manifest path
+  in
+  let effect_findings = Rule_effects.check ~manifest effects in
   let allow =
     let path =
       match allow_file with
       | Some p -> p
       | None -> Filename.concat root "lint.allow"
     in
-    Allowlist.load path
+    Allowlist.load ~known:(List.map fst rules) path
   in
   let checked =
-    Allowlist.filter allow (token_findings @ mli_findings @ layering_findings)
+    Allowlist.filter allow
+      (token_findings @ mli_findings @ layering_findings @ effect_findings)
   in
   let findings =
-    List.concat
-      [ Allowlist.errors allow;
-        Allowlist.known_rule_warnings allow ~known:(List.map fst rules);
-        checked;
-        Allowlist.stale allow ]
+    List.concat [ Allowlist.errors allow; checked; Allowlist.stale allow ]
     |> List.sort Finding.compare_location
   in
-  (List.length ml_files + List.length dune_files, findings)
+  {
+    files_checked = List.length ml_files + List.length dune_files;
+    findings;
+    effects;
+  }
+
+let run ?allow_file ~root () =
+  let r = analyze ?allow_file ~root () in
+  (r.files_checked, r.findings)
+
+(* Deterministic machine-readable report (schema lk-lint/1): findings
+   are location-sorted and the walk order is fixed, so the rendered
+   bytes are a function of the tree alone. *)
+let json_report r =
+  let module Json = Lk_benchkit.Json in
+  let errors, warnings = List.partition Finding.is_error r.findings in
+  Json.Obj
+    [ ("schema", Json.Str "lk-lint/1");
+      ("files", Json.Num (float_of_int r.files_checked));
+      ("errors", Json.Num (float_of_int (List.length errors)));
+      ("warnings", Json.Num (float_of_int (List.length warnings)));
+      ( "findings",
+        Json.Arr
+          (List.map
+             (fun (f : Finding.t) ->
+               Json.Obj
+                 [ ("rule", Json.Str f.Finding.rule);
+                   ( "severity",
+                     Json.Str (Finding.severity_label f.Finding.severity) );
+                   ("file", Json.Str f.Finding.file);
+                   ("line", Json.Num (float_of_int f.Finding.line));
+                   ("col", Json.Num (float_of_int f.Finding.col));
+                   ("message", Json.Str f.Finding.message) ])
+             r.findings) ) ]

@@ -1,6 +1,8 @@
 (** The lint driver: walks [root]'s [lib/] and [bin/] trees, runs every
-    rule in its scope, filters findings through the [lint.allow] list, and
-    returns the surviving findings sorted by location.
+    per-file rule in its scope, builds the whole-program call graph and
+    effect table, runs the reachability rules, filters findings through
+    the [lint.allow] list, and returns the surviving findings sorted by
+    location.
 
     Rule scopes:
     - [determinism]: every [.ml] under [lib/] and [bin/];
@@ -8,14 +10,42 @@
     - [oracle-discipline]: [.ml] files in the layers above the oracle
       (see {!Rule_oracle.restricted_dirs});
     - [mli-coverage]: the [lib/] file listing;
-    - [layering]: every [lib/*/dune] file. *)
+    - [layering]: every [lib/*/dune] file;
+    - [effect-*] (see {!Rule_effects}): the whole-program effect table
+      over every [.ml] under [lib/] and [bin/]. *)
 
 (** Rule registry: [(id, one-line description)], including the pseudo-rule
-    ["allowlist"] under which allowlist problems are reported. *)
+    ["allowlist"] under which allowlist problems are reported, and the
+    four reachability rules. *)
 val rules : (string * string) list
 
-(** [run ?allow_file ~root ()] lints the tree rooted at [root] (paths in
-    findings are relative to it).  [allow_file] defaults to
-    [root ^ "/lint.allow"]; a missing allowlist is simply empty.  Returns
-    [(files_checked, findings)]. *)
+type report = {
+  files_checked : int;
+  findings : Finding.t list;  (** post-allowlist, location-sorted *)
+  effects : Effects.table;  (** the full inferred effect table *)
+}
+
+(** [analyze ?allow_file ?cache_file ?hot_manifest ~root ()] lints the
+    tree rooted at [root] (paths in findings are relative to it).
+    [allow_file] defaults to [root ^ "/lint.allow"] and [hot_manifest]
+    to [root ^ "/lint.hot"]; both are simply empty when missing.
+    [cache_file], when given, is read before the per-file pass and
+    rewritten after it: files whose content digest is unchanged skip
+    tokenization, token rules and summary extraction (the whole-program
+    passes always run fresh) — a warm cache must produce byte-identical
+    findings to a cold one. *)
+val analyze :
+  ?allow_file:string ->
+  ?cache_file:string ->
+  ?hot_manifest:string ->
+  root:string ->
+  unit ->
+  report
+
+(** [run ?allow_file ~root ()] — {!analyze} reduced to the historical
+    [(files_checked, findings)] shape. *)
 val run : ?allow_file:string -> root:string -> unit -> int * Finding.t list
+
+(** Deterministic machine-readable report (schema [lk-lint/1]); two runs
+    over an unchanged tree render byte-identical documents. *)
+val json_report : report -> Lk_benchkit.Json.t

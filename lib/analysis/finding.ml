@@ -14,9 +14,14 @@ let make ?(severity = Error) ~rule ~file ~line ~col message =
 
 let severity_label = function Error -> "error" | Warning -> "warning"
 
-let to_string t =
-  Printf.sprintf "%s:%d:%d: %s: %s: %s" t.file t.line t.col
-    (severity_label t.severity) t.rule t.message
+let to_string ?descr t =
+  let base =
+    Printf.sprintf "%s:%d:%d: %s: %s: %s" t.file t.line t.col
+      (severity_label t.severity) t.rule t.message
+  in
+  match descr with
+  | Some d -> Printf.sprintf "%s\n    [%s] %s" base t.rule d
+  | None -> base
 
 let compare_location a b =
   let c = compare a.file b.file in

@@ -22,8 +22,11 @@ val make :
   string ->
   t
 
-(** Renders as ["file:line:col: severity: rule-id: message"]. *)
-val to_string : t -> string
+(** Renders as ["file:line:col: severity: rule-id: message"]; with
+    [?descr] (the rule's one-line registry description, as printed by
+    [bin/lint --explain <rule-id>]) an indented ["[rule] description"]
+    line is appended. *)
+val to_string : ?descr:string -> t -> string
 
 val severity_label : severity -> string
 

@@ -26,7 +26,9 @@ let top = lca_side @ [ "lk_lca"; "lk_lcakp"; "lk_workloads" ]
 
 let allowed : (string * string list) list =
   [ ("lk_util", []);
-    ("lk_analysis", []);
+    (* the linter leans on lk_benchkit only for the deterministic JSON
+       printer (SARIF export, analysis cache) *)
+    ("lk_analysis", [ "lk_util"; "lk_benchkit" ]);
     ("lk_benchkit", [ "lk_util" ]);
     ("lk_obs", [ "lk_util"; "lk_benchkit" ]);
     ("lk_stats", [ "lk_util" ]);
@@ -172,3 +174,15 @@ let check_files files =
   List.concat_map
     (fun (path, content) -> check_dune ~path ~content)
     files
+
+(* [library_name ~content] — the (name ...) of the first library stanza
+   in a dune file, for the engine's library -> directory map. *)
+let library_name ~content =
+  parse_sexps content
+  |> List.find_map (fun stanza ->
+         match field "library" stanza with
+         | None -> None
+         | Some fields -> (
+             match List.find_map (field "name") fields with
+             | Some (Atom n :: _) -> Some n
+             | _ -> None))

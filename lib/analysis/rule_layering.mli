@@ -23,3 +23,8 @@ val check_dune : path:string -> content:string -> Finding.t list
 
 (** [check_files [(path, content); ...]] lints a batch of dune files. *)
 val check_files : (string * string) list -> Finding.t list
+
+(** [library_name ~content] — the [(name ...)] of the first library
+    stanza in a dune file, if any; the engine uses it to map library
+    names to directories for call-graph resolution. *)
+val library_name : content:string -> string option

@@ -15,4 +15,9 @@ val id : string
 (** Directory prefixes the rule applies to. *)
 val restricted_dirs : string list
 
+(** [names_accessor name] — does a dotted token name one of the raw
+    [Instance] item accessors ([Instance.item/items/profits/weights]),
+    exactly or as a [.]-suffix?  Shared with the effect seeder. *)
+val names_accessor : string -> bool
+
 val check : file:string -> Tokenizer.token array -> Finding.t list

@@ -1,0 +1,53 @@
+module Json = Lk_benchkit.Json
+
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let rule_json (id, descr) =
+  Json.Obj
+    [ ("id", Json.Str id);
+      ("shortDescription", Json.Obj [ ("text", Json.Str descr) ]) ]
+
+let result_json (f : Finding.t) =
+  Json.Obj
+    [ ("ruleId", Json.Str f.Finding.rule);
+      ( "level",
+        Json.Str
+          (match f.Finding.severity with
+          | Finding.Error -> "error"
+          | Finding.Warning -> "warning") );
+      ("message", Json.Obj [ ("text", Json.Str f.Finding.message) ]);
+      ( "locations",
+        Json.Arr
+          [ Json.Obj
+              [ ( "physicalLocation",
+                  Json.Obj
+                    [ ( "artifactLocation",
+                        Json.Obj [ ("uri", Json.Str f.Finding.file) ] );
+                      ( "region",
+                        Json.Obj
+                          [ ("startLine", Json.Num (float_of_int f.Finding.line));
+                            ( "startColumn",
+                              Json.Num (float_of_int f.Finding.col) ) ] )
+                    ] ) ] ] ) ]
+
+let to_json ~rules findings =
+  Json.Obj
+    [ ("$schema", Json.Str schema_uri);
+      ("version", Json.Str "2.1.0");
+      ( "runs",
+        Json.Arr
+          [ Json.Obj
+              [ ( "tool",
+                  Json.Obj
+                    [ ( "driver",
+                        Json.Obj
+                          [ ("name", Json.Str "lk-lint");
+                            ("version", Json.Str "1.0.0");
+                            ( "informationUri",
+                              Json.Str
+                                "https://example.invalid/lca-knapsack/lint" );
+                            ("rules", Json.Arr (List.map rule_json rules)) ]
+                      ) ] );
+                ("results", Json.Arr (List.map result_json findings)) ] ] ) ]
+
+let to_string ~rules findings = Json.to_string (to_json ~rules findings)

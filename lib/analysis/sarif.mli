@@ -1,0 +1,19 @@
+(** SARIF 2.1.0 export of a lint report, built on the deterministic
+    {!Lk_benchkit.Json} printer so CI artifacts are byte-stable.
+
+    The document shape is the minimal valid profile most SARIF viewers
+    (GitHub code scanning included) consume: one [run], a
+    [tool.driver] carrying the full rule registry with short
+    descriptions, and one [result] per finding with [ruleId], [level]
+    ([error]/[warning]), a [message.text], and a single physical
+    location ([artifactLocation.uri] + [region.startLine/startColumn],
+    both 1-based, uri relative to the repository root). *)
+
+(** [to_json ~rules findings] — [rules] is the [(id, description)]
+    registry (every finding's rule id should appear in it). *)
+val to_json :
+  rules:(string * string) list -> Finding.t list -> Lk_benchkit.Json.t
+
+(** [to_string ~rules findings] — the rendered document, byte-stable
+    across runs on an unchanged tree. *)
+val to_string : rules:(string * string) list -> Finding.t list -> string

@@ -11,6 +11,11 @@ module Par = Lk_analysis.Rule_parallel
 module Timing = Lk_analysis.Rule_timing
 module ObsRule = Lk_analysis.Rule_obs
 module Engine = Lk_analysis.Engine
+module Mod = Lk_analysis.Modgraph
+module Cg = Lk_analysis.Callgraph
+module Eff = Lk_analysis.Effects
+module Sarif = Lk_analysis.Sarif
+module Json = Lk_benchkit.Json
 
 let rules_of findings = List.map (fun f -> f.F.rule) findings
 
@@ -254,9 +259,9 @@ let test_obs_discipline_negative () =
   check_rules "Obs facade, Event construction, substrings all fine" []
     (ObsRule.check ~file:"lib/oracle/x.ml" benign);
   check_rules "the allowlist knows the rule id" []
-    (Allow.known_rule_warnings
-       (Allow.parse "observability-discipline lib/a/x.ml # vetted\n")
-       ~known:(List.map fst Engine.rules))
+    (Allow.errors
+       (Allow.parse ~known:(List.map fst Engine.rules)
+          "observability-discipline lib/a/x.ml # vetted\n"))
 
 (* ------------------------------------------------------------------ *)
 (* timing-discipline *)
@@ -317,10 +322,18 @@ let test_allowlist_requires_justification () =
     (Allow.errors t)
 
 let test_allowlist_stale_and_unknown () =
+  (* a typo'd rule id is rejected at load time: it becomes an error and
+     allowlists nothing, instead of silently matching nothing *)
+  let known = List.map fst Engine.rules in
+  let t = Allow.parse ~known "no-such-rule lib/a/x.ml # why\n" in
+  Alcotest.(check int) "unknown-rule entry dropped" 0
+    (List.length (Allow.entries t));
+  let errs = Allow.errors t in
+  check_rules "unknown rule id is an error" [ "allowlist" ] errs;
+  Alcotest.(check bool) "rejected at load = error severity" true
+    (F.is_error (List.hd errs));
+  (* without a registry the entry parses, and an unused entry is stale *)
   let t = Allow.parse "no-such-rule lib/a/x.ml # why\n" in
-  check_rules "unknown rule id warned"
-    [ "allowlist" ]
-    (Allow.known_rule_warnings t ~known:(List.map fst Engine.rules));
   let stale = Allow.stale t in
   check_rules "unused entry is stale" [ "allowlist" ] stale;
   Alcotest.(check bool) "stale is a warning" false (F.is_error (List.hd stale))
@@ -370,6 +383,434 @@ let test_engine_real_tree () =
   check_rules "repo at HEAD is lint-clean" []
     (List.filter F.is_error findings)
 
+(* ------------------------------------------------------------------ *)
+(* shared helpers for the whole-program tests *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let read_all path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let with_fixture files f =
+  let root = Filename.temp_dir "lk_analysis" "efixture" in
+  List.iter
+    (fun (rel, content) ->
+      let path = Filename.concat root rel in
+      ignore
+        (Sys.command
+           (Printf.sprintf "mkdir -p %s"
+              (Filename.quote (Filename.dirname path))));
+      write_file path content)
+    files;
+  f root
+
+let findings_with_rule r (report : Engine.report) =
+  List.filter (fun f -> f.F.rule = r) report.Engine.findings
+
+let total_findings (report : Engine.report) =
+  List.length report.Engine.findings
+
+let real_root () =
+  if Sys.file_exists "../lib" then ".."
+  else if Sys.file_exists "lib" then "."
+  else Alcotest.fail "lib/ not found from test cwd"
+
+(* a layering-clean pure library so every fixture tree has a lib/ *)
+let pure_lib =
+  [ ("lib/util/dune", "(library (name lk_util))");
+    ("lib/util/misc.ml", "let twice x = 2 * x\n");
+    ("lib/util/misc.mli", "val twice : int -> int\n") ]
+
+(* ------------------------------------------------------------------ *)
+(* tokenizer edge cases *)
+
+let test_tokenizer_quoted_edge_cases () =
+  let ts =
+    texts
+      (T.tokenize
+         "let x = {|Unix.gettimeofday|} ^ {||}\nlet y = Sys.opaque_identity x\n")
+  in
+  Alcotest.(check bool) "empty-tag quoted string dropped" false
+    (List.mem "Unix.gettimeofday" ts);
+  Alcotest.(check bool) "lexing continues after quoted strings" true
+    (List.mem "Sys.opaque_identity" ts);
+  let ts = texts (T.tokenize "let c = '\"'\nlet z = Sys.time ()\n") in
+  Alcotest.(check bool) "'\"' char literal does not open a string" true
+    (List.mem "Sys.time" ts);
+  let ts =
+    texts
+      (T.tokenize
+         "(* a (* b (* Random.int *) c *) d *) let ok = Hashtbl.hash 0\n")
+  in
+  Alcotest.(check bool) "doubly nested comment dropped" false
+    (List.mem "Random.int" ts);
+  Alcotest.(check bool) "code after nested comment survives" true
+    (List.mem "Hashtbl.hash" ts)
+
+(* ------------------------------------------------------------------ *)
+(* module summaries and call-graph resolution *)
+
+let test_modgraph_extraction () =
+  let src =
+    "open Lk_util\n\
+     module R = Lk_util.Rng\n\
+     let plain x = x + 1\n\
+     let[@hot] kern xs = List.map succ xs\n\
+     let bump r = r := !r + 1\n\
+     let () = ignore (plain 3)\n\
+     module Helper = struct\n\
+    \  let inner y = plain y\n\
+     end\n"
+  in
+  let s = Mod.of_tokens (T.tokenize src) in
+  Alcotest.(check (list string)) "opens" [ "Lk_util" ] s.Mod.opens;
+  Alcotest.(check (list (pair string string)))
+    "aliases"
+    [ ("R", "Lk_util.Rng") ]
+    s.Mod.aliases;
+  let names = List.map (fun (b : Mod.binding) -> b.Mod.name) s.Mod.bindings in
+  Alcotest.(check (list string)) "bindings in source order"
+    [ "plain"; "kern"; "bump"; "_anon_L6"; "Helper" ]
+    names;
+  let get n =
+    List.find (fun (b : Mod.binding) -> b.Mod.name = n) s.Mod.bindings
+  in
+  Alcotest.(check bool) "[@hot] detected" true (get "kern").Mod.hot;
+  Alcotest.(check bool) "plain not hot" false (get "plain").Mod.hot;
+  Alcotest.(check bool) ":= marks mutates" true (get "bump").Mod.mutates;
+  Alcotest.(check bool) "module block attributed to one coarse binding" true
+    (List.exists
+       (fun (o : Mod.occ) -> o.Mod.text = "plain")
+       (get "Helper").Mod.refs)
+
+let test_callgraph_resolution () =
+  let summarize src = Mod.of_tokens (T.tokenize src) in
+  let summaries =
+    [ ("lib/demo/a.ml", summarize "let base x = x + 1\n");
+      ( "lib/demo/b.ml",
+        summarize
+          "let use y = A.base y\nlet proj it = it.A.weight\nlet dotp r = r.A.base\n"
+      ) ]
+  in
+  let cg = Cg.build ~libmap:[] summaries in
+  let callees name =
+    match Cg.find cg (Cg.id ~file:"lib/demo/b.ml" ~name) with
+    | Some n -> n.Cg.callees
+    | None -> Alcotest.fail ("missing node " ^ name)
+  in
+  Alcotest.(check (list string)) "sibling call resolves"
+    [ "lib/demo/a.ml#base" ] (callees "use");
+  Alcotest.(check (list string))
+    "record projection of an unknown field is not a call" [] (callees "proj");
+  Alcotest.(check (list string))
+    "projection matching a real binding still resolves (over-approx)"
+    [ "lib/demo/a.ml#base" ] (callees "dotp")
+
+(* ------------------------------------------------------------------ *)
+(* reachability rules on seeded violations *)
+
+let test_effect_determinism_reach () =
+  with_fixture
+    (pure_lib
+    @ [ ("lib/util/clockish.ml", "let now () = Unix.gettimeofday ()\n");
+        ("lib/util/clockish.mli", "val now : unit -> float\n");
+        ("lib/core/dune", "(library (name lk_lcakp) (libraries lk_util))");
+        ("lib/core/answer.ml", "let answer x = Lk_util.Clockish.now () +. x\n");
+        ("lib/core/answer.mli", "val answer : float -> float\n");
+        ( "lint.allow",
+          "determinism lib/util/clockish.ml # fixture: the smuggled wall \
+           clock under test\n" ) ])
+    (fun root ->
+      let report = Engine.analyze ~root () in
+      let hits = findings_with_rule "effect-determinism-reach" report in
+      Alcotest.(check int) "exactly one determinism-reach finding" 1
+        (List.length hits);
+      let f = List.hd hits in
+      Alcotest.(check string) "reported at the core boundary binding"
+        "lib/core/answer.ml" f.F.file;
+      Alcotest.(check bool) "witness chain names the clock helper" true
+        (contains f.F.message "Clockish.now");
+      Alcotest.(check bool) "classified as a clock read, not generic io" true
+        (contains f.F.message "clock read");
+      Alcotest.(check int) "nothing else fires" 1 (total_findings report);
+      (* removing the smuggle restores a clean tree *)
+      write_file
+        (Filename.concat root "lib/util/clockish.ml")
+        "let now () = float_of_int 42\n";
+      write_file (Filename.concat root "lint.allow") "# empty\n";
+      let report = Engine.analyze ~root () in
+      Alcotest.(check int) "clean after removal" 0 (total_findings report))
+
+let test_effect_oracle_accounting () =
+  with_fixture
+    (pure_lib
+    @ [ ( "bin/tool.ml",
+          "let count inst = Array.length (Instance.items inst)\n\
+           let () = ignore count\n" ) ])
+    (fun root ->
+      let report = Engine.analyze ~root () in
+      let hits = findings_with_rule "effect-oracle-accounting" report in
+      Alcotest.(check int) "exactly one uncharged-probe finding" 1
+        (List.length hits);
+      Alcotest.(check string) "at the probing binding" "bin/tool.ml"
+        (List.hd hits).F.file;
+      Alcotest.(check int) "whole report = that one finding" 1
+        (total_findings report);
+      write_file
+        (Filename.concat root "bin/tool.ml")
+        "let count inst = Instance.size inst\nlet () = ignore count\n";
+      let report = Engine.analyze ~root () in
+      Alcotest.(check int) "metadata reads are clean" 0 (total_findings report))
+
+let test_effect_parallel_confinement () =
+  with_fixture
+    (pure_lib
+    @ [ ("bin/fan.ml", "let go f = Domain.spawn f\nlet run f = go f\n") ])
+    (fun root ->
+      let report = Engine.analyze ~root () in
+      let confinement = findings_with_rule "effect-parallel-confinement" report in
+      let site = findings_with_rule "parallelism-discipline" report in
+      Alcotest.(check int) "one confinement finding (the caller)" 1
+        (List.length confinement);
+      Alcotest.(check int) "one token finding (the spawn site)" 1
+        (List.length site);
+      Alcotest.(check int) "nothing else" 2 (total_findings report);
+      Alcotest.(check bool) "caller named in the message" true
+        (contains (List.hd confinement).F.message "'run'");
+      write_file
+        (Filename.concat root "bin/fan.ml")
+        "let go f = f ()\nlet run f = go f\n";
+      let report = Engine.analyze ~root () in
+      Alcotest.(check int) "clean after removing the spawn" 0
+        (total_findings report))
+
+let test_effect_parallel_blessed () =
+  with_fixture
+    (pure_lib
+    @ [ ("lib/parallel/dune", "(library (name lk_parallel) (libraries lk_util))");
+        ("lib/parallel/engine.ml", "let fan f = Domain.spawn f\n");
+        ("lib/parallel/engine.mli", "val fan : (unit -> 'a) -> 'a Domain.t\n");
+        ("bin/caller.ml", "let run f = Lk_parallel.Engine.fan f\n") ])
+    (fun root ->
+      let report = Engine.analyze ~root () in
+      Alcotest.(check int) "spawning through the blessed engine is clean" 0
+        (total_findings report))
+
+let test_effect_hot_alloc () =
+  with_fixture
+    (pure_lib
+    @ [ ( "bin/hotk.ml",
+          "let[@hot] step xs = List.map succ xs\n\
+           let cold xs = List.map succ xs\n" );
+        ("bin/mank.ml", "let fold xs = List.fold_left (+) 0 xs\n");
+        ("lint.hot", "# fixture manifest\nbin/mank.ml\n") ])
+    (fun root ->
+      let report = Engine.analyze ~root () in
+      let hits = findings_with_rule "effect-hot-alloc" report in
+      Alcotest.(check int) "tagged + manifest bindings flagged, cold one not" 2
+        (List.length hits);
+      Alcotest.(check bool) "hot-alloc findings are warnings" true
+        (List.for_all (fun f -> not (F.is_error f)) hits);
+      Alcotest.(check int) "nothing else fires" 2 (total_findings report);
+      Alcotest.(check (list string)) "locations"
+        [ "bin/hotk.ml"; "bin/mank.ml" ]
+        (List.map (fun f -> f.F.file) hits))
+
+(* ------------------------------------------------------------------ *)
+(* differential: inferred effects vs the observed E1 profile *)
+
+let test_obs_effect_differential () =
+  let root = real_root () in
+  let baseline = Json.of_file (Filename.concat root "OBS_BASELINE.json") in
+  let phases =
+    match Json.member "phases" baseline with
+    | Some p -> ( match Json.to_list p with Some l -> l | None -> [])
+    | None -> []
+  in
+  let trial =
+    match
+      List.find_opt
+        (fun p ->
+          match Json.member "path" p with
+          | Some j -> Json.to_string_opt j = Some "root;e1;trial"
+          | None -> false)
+        phases
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "baseline has no root;e1;trial phase"
+  in
+  let total field =
+    match Json.member "total" trial with
+    | None -> 0.
+    | Some t -> (
+        match Json.member field t with
+        | Some v -> ( match Json.to_float v with Some f -> f | None -> 0.)
+        | None -> 0.)
+  in
+  (* the committed profile says every E1 trial consumes RNG and emits
+     events into the trace *)
+  Alcotest.(check bool) "observed rng splits in the trial phase" true
+    (total "splits" > 0.);
+  Alcotest.(check bool) "observed events in the trial phase" true
+    (total "events" > 0.);
+  let report = Engine.analyze ~root () in
+  let eff file binding =
+    match Eff.find report.Engine.effects ~file ~binding with
+    | Some n -> n.Eff.effects
+    | None ->
+        Alcotest.fail (Printf.sprintf "no effect node for %s#%s" file binding)
+  in
+  (* static side: the trial entry points must carry the matching effects *)
+  let run_eff = eff "lib/core/lca_kp.ml" "run" in
+  Alcotest.(check bool) "run consumes rng (matches splits > 0)" true
+    (Eff.mem Eff.Rng_consume run_eff);
+  Alcotest.(check bool) "run probes the oracle through the charged seam" true
+    (Eff.mem Eff.Oracle_probe run_eff);
+  let query_eff = eff "lib/core/lca_kp.ml" "query" in
+  Alcotest.(check bool) "query consumes rng" true
+    (Eff.mem Eff.Rng_consume query_eff);
+  Alcotest.(check bool) "query probes the oracle" true
+    (Eff.mem Eff.Oracle_probe query_eff);
+  (* and pure helpers must not: the profiler would have nowhere to
+     attribute their (nonexistent) probes *)
+  let det = eff "lib/util/det.ml" "sorted_bindings" in
+  Alcotest.(check bool) "Det.sorted_bindings is oracle-free" false
+    (Eff.mem Eff.Oracle_probe det);
+  Alcotest.(check bool) "Det.sorted_bindings is rng-free" false
+    (Eff.mem Eff.Rng_consume det);
+  let item_eff = eff "lib/knapsack/item.ml" "efficiency" in
+  Alcotest.(check bool) "Item.efficiency is clock-free" false
+    (Eff.mem Eff.Clock_read item_eff)
+
+(* ------------------------------------------------------------------ *)
+(* reports: JSON/SARIF determinism and shape, cache, registry *)
+
+let test_report_determinism () =
+  let root = real_root () in
+  let r1 = Engine.analyze ~root () in
+  let r2 = Engine.analyze ~root () in
+  Alcotest.(check string) "json_report is byte-stable"
+    (Json.to_string (Engine.json_report r1))
+    (Json.to_string (Engine.json_report r2));
+  Alcotest.(check string) "sarif is byte-stable"
+    (Sarif.to_string ~rules:Engine.rules r1.Engine.findings)
+    (Sarif.to_string ~rules:Engine.rules r2.Engine.findings)
+
+let test_sarif_shape () =
+  let findings =
+    [ F.make ~rule:"determinism" ~file:"lib/a/x.ml" ~line:3 ~col:7 "bad";
+      F.make ~severity:F.Warning ~rule:"effect-hot-alloc" ~file:"bin/y.ml"
+        ~line:1 ~col:2 "alloc" ]
+  in
+  let doc = Json.parse (Sarif.to_string ~rules:Engine.rules findings) in
+  let get path j =
+    List.fold_left
+      (fun acc k ->
+        match acc with
+        | None -> None
+        | Some j -> (
+            match int_of_string_opt k with
+            | Some i -> (
+                match Json.to_list j with
+                | Some l -> List.nth_opt l i
+                | None -> None)
+            | None -> Json.member k j))
+      (Some j) path
+  in
+  let str path =
+    match get path doc with Some j -> Json.to_string_opt j | None -> None
+  in
+  let num path =
+    match get path doc with Some j -> Json.to_float j | None -> None
+  in
+  Alcotest.(check (option string)) "version" (Some "2.1.0") (str [ "version" ]);
+  Alcotest.(check (option string))
+    "schema"
+    (Some "https://json.schemastore.org/sarif-2.1.0.json")
+    (str [ "$schema" ]);
+  Alcotest.(check (option string)) "driver name" (Some "lk-lint")
+    (str [ "runs"; "0"; "tool"; "driver"; "name" ]);
+  (match get [ "runs"; "0"; "tool"; "driver"; "rules" ] doc with
+  | Some r -> (
+      match Json.to_list r with
+      | Some l ->
+          Alcotest.(check int) "full rule registry shipped"
+            (List.length Engine.rules) (List.length l)
+      | None -> Alcotest.fail "driver.rules is not an array")
+  | None -> Alcotest.fail "driver.rules missing");
+  Alcotest.(check (option string)) "result ruleId" (Some "determinism")
+    (str [ "runs"; "0"; "results"; "0"; "ruleId" ]);
+  Alcotest.(check (option string)) "error level" (Some "error")
+    (str [ "runs"; "0"; "results"; "0"; "level" ]);
+  Alcotest.(check (option string)) "warning level" (Some "warning")
+    (str [ "runs"; "0"; "results"; "1"; "level" ]);
+  Alcotest.(check (option string)) "artifact uri" (Some "lib/a/x.ml")
+    (str
+       [ "runs"; "0"; "results"; "0"; "locations"; "0"; "physicalLocation";
+         "artifactLocation"; "uri" ]);
+  Alcotest.(check (option (float 0.))) "startLine" (Some 3.)
+    (num
+       [ "runs"; "0"; "results"; "0"; "locations"; "0"; "physicalLocation";
+         "region"; "startLine" ]);
+  Alcotest.(check (option (float 0.))) "startColumn" (Some 7.)
+    (num
+       [ "runs"; "0"; "results"; "0"; "locations"; "0"; "physicalLocation";
+         "region"; "startColumn" ])
+
+let test_cache_warm_identical () =
+  with_fixture
+    [ ("lib/util/dune", "(library (name lk_util))");
+      ("lib/util/misc.ml", "let bad () = Random.int 3\n");
+      ("lib/util/misc.mli", "val bad : unit -> int\n") ]
+    (fun root ->
+      let cache_file = Filename.concat root "lint.cache.json" in
+      let render (r : Engine.report) =
+        List.map (fun f -> F.to_string f) r.Engine.findings
+      in
+      let cold = Engine.analyze ~cache_file ~root () in
+      Alcotest.(check int) "fixture violation found cold" 1
+        (total_findings cold);
+      let bytes1 = read_all cache_file in
+      let warm = Engine.analyze ~cache_file ~root () in
+      let bytes2 = read_all cache_file in
+      Alcotest.(check (list string)) "warm findings identical" (render cold)
+        (render warm);
+      Alcotest.(check string) "cache file byte-stable" bytes1 bytes2;
+      (* a corrupt cache costs time, never correctness *)
+      write_file cache_file "not json at all";
+      let rebuilt = Engine.analyze ~cache_file ~root () in
+      Alcotest.(check (list string)) "corrupt cache ignored" (render cold)
+        (render rebuilt);
+      (* editing the file invalidates its entry *)
+      write_file (Filename.concat root "lib/util/misc.ml") "let bad () = 3\n";
+      let changed = Engine.analyze ~cache_file ~root () in
+      Alcotest.(check int) "edited file re-analyzed" 0 (total_findings changed))
+
+let test_rules_registry_and_explain () =
+  let ids = List.map fst Engine.rules in
+  Alcotest.(check int) "rule ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) ("registry has " ^ r) true (List.mem r ids))
+    [ "effect-oracle-accounting"; "effect-determinism-reach";
+      "effect-parallel-confinement"; "effect-hot-alloc"; "allowlist" ];
+  Alcotest.(check bool) "descriptions nonempty" true
+    (List.for_all (fun (_, d) -> String.length d > 0) Engine.rules);
+  let f = F.make ~rule:"determinism" ~file:"lib/a/x.ml" ~line:3 ~col:7 "msg" in
+  let descr = List.assoc "determinism" Engine.rules in
+  let s = F.to_string ~descr f in
+  Alcotest.(check bool) "--explain rendering appends [rule] description" true
+    (contains s ("[determinism] " ^ descr));
+  Alcotest.(check bool) "plain rendering stays one line" false
+    (contains (F.to_string f) "\n")
+
 let () =
   Alcotest.run "analysis"
     [
@@ -380,6 +821,37 @@ let () =
           Alcotest.test_case "positions and kinds" `Quick
             test_tokenizer_positions_and_kinds;
           Alcotest.test_case "literal kinds" `Quick test_tokenizer_float_kinds;
+          Alcotest.test_case "quoted strings, char literals, nesting" `Quick
+            test_tokenizer_quoted_edge_cases;
+        ] );
+      ( "modgraph",
+        [ Alcotest.test_case "extraction" `Quick test_modgraph_extraction ] );
+      ( "callgraph",
+        [ Alcotest.test_case "resolution" `Quick test_callgraph_resolution ] );
+      ( "effects",
+        [
+          Alcotest.test_case "determinism reach" `Quick
+            test_effect_determinism_reach;
+          Alcotest.test_case "oracle accounting" `Quick
+            test_effect_oracle_accounting;
+          Alcotest.test_case "parallel confinement" `Quick
+            test_effect_parallel_confinement;
+          Alcotest.test_case "blessed engine absorbs spawn" `Quick
+            test_effect_parallel_blessed;
+          Alcotest.test_case "hot-path allocation" `Quick
+            test_effect_hot_alloc;
+          Alcotest.test_case "obs profile differential" `Quick
+            test_obs_effect_differential;
+        ] );
+      ( "reports",
+        [
+          Alcotest.test_case "byte-stable json and sarif" `Quick
+            test_report_determinism;
+          Alcotest.test_case "sarif shape" `Quick test_sarif_shape;
+          Alcotest.test_case "warm cache differential" `Quick
+            test_cache_warm_identical;
+          Alcotest.test_case "registry and explain" `Quick
+            test_rules_registry_and_explain;
         ] );
       ( "determinism",
         [

@@ -703,17 +703,12 @@ let run_selected names quick jobs time trace metrics profile =
       exit 2
   | _ -> ());
   let names = if names = [] || names = [ "all" ] then List.map fst all_experiments else names in
-  (* One sink for the whole invocation; Obs.null unless
-     --trace/--metrics/--profile asked for it, so the default path pays
-     one branch per emission site and stdout stays byte-identical either
-     way.  --trace and --profile both need the recorded events. *)
-  let registry = match metrics with Some _ -> Some (Metrics.create ()) | None -> None in
-  let sink =
-    match (trace, profile, registry) with
-    | None, None, None -> Obs.null
-    | None, None, Some r -> Obs.meter r
-    | _ -> Obs.recorder ?metrics:registry ()
-  in
+  (* One sink for the whole invocation, selected by the shared plumbing
+     (Obs_cli): Obs.null unless --trace/--metrics/--profile asked for it,
+     so the default path pays one branch per emission site and stdout
+     stays byte-identical either way. *)
+  let obs = Obs_cli.setup ~trace ~metrics ~profile () in
+  let sink = obs.Obs_cli.sink in
   List.iter
     (fun name ->
       match List.assoc_opt name all_experiments with
@@ -734,37 +729,18 @@ let run_selected names quick jobs time trace metrics profile =
             (String.concat ", " (List.map fst all_experiments));
           exit 2)
     names;
-  (match trace with
-  | Some path ->
-      (* The meta block is everything trace_tool needs to re-run this exact
-         invocation (replay goes through the CLI, so --quick/--jobs are the
-         whole run identity alongside the baked-in seeds). *)
-      let meta =
-        [
-          ("kind", "experiments");
-          ("names", String.concat " " names);
-          ("quick", if quick then "true" else "false");
-          ("jobs", match jobs with None -> "" | Some j -> string_of_int j);
-        ]
-      in
-      TraceDoc.save path
-        (TraceDoc.make ~label:"experiments" ~meta ~dropped:(Obs.dropped sink)
-           (Obs.events sink))
-  | None -> ());
-  (match profile with
-  | Some path ->
-      (* The profile is a pure function of the (jobs-invariant) event
-         stream, so this file is byte-identical for every --jobs count —
-         the property bin/obs_gate leans on. *)
-      Lk_profile.Profile.save path
-        (Lk_profile.Profile.of_events ~label:"experiments"
-           ~dropped:(Obs.dropped sink) (Obs.events sink))
-  | None -> ());
-  match (metrics, registry) with
-  | Some path, Some r ->
-      Metrics.set (Metrics.gauge r "obs.dropped") (float_of_int (Obs.dropped sink));
-      Lk_benchkit.Json.write_file path (Metrics.to_json (Metrics.snapshot r))
-  | _ -> ()
+  (* The meta block is everything trace_tool needs to re-run this exact
+     invocation (replay goes through the CLI, so --quick/--jobs are the
+     whole run identity alongside the baked-in seeds). *)
+  Obs_cli.finish obs ~label:"experiments"
+    ~meta:
+      [
+        ("kind", "experiments");
+        ("names", String.concat " " names);
+        ("quick", if quick then "true" else "false");
+        ("jobs", match jobs with None -> "" | Some j -> string_of_int j);
+      ]
+    ()
 
 open Cmdliner
 
@@ -792,31 +768,11 @@ let time_arg =
   in
   Arg.(value & flag & info [ "time" ] ~doc)
 
-let trace_arg =
-  let doc =
-    "Record the run's trace-event stream (oracle queries, cache hits, \
-     phases, trial markers) to $(docv) — deterministic JSON, byte-identical \
-     across repeats and across --jobs counts.  Stdout is unaffected.  \
-     Verify a recording with 'trace_tool verify'."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-
-let metrics_arg =
-  let doc =
-    "Export a metrics snapshot (named counters, gauges, log-scaled \
-     histograms over the same event stream) to $(docv) as deterministic \
-     JSON.  Stdout is unaffected."
-  in
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
-
-let profile_arg =
-  let doc =
-    "Aggregate the run's event stream into a query-complexity profile \
-     (per-phase counts, per-trial quantiles; schema lca-knapsack-obs/1) \
-     and write it to $(docv).  Byte-identical across repeats and --jobs \
-     counts; gate a profile against a baseline with 'obs_gate'."
-  in
-  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+(* --trace/--metrics/--profile are the shared Obs_cli terms: one flag
+   vocabulary across experiments, lcakp_cli and loadgen. *)
+let trace_arg = Obs_cli.trace_arg
+let metrics_arg = Obs_cli.metrics_arg
+let profile_arg = Obs_cli.profile_arg
 
 let cmd =
   let doc = "Regenerate the LCA-for-Knapsack reproduction experiments (EXPERIMENTS.md)" in

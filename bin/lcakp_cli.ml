@@ -29,31 +29,22 @@ let write_counters access = function
       Lk_benchkit.Json.write_file path
         (Lk_oracle.Counters.to_json (Lk_oracle.Access.counters access))
 
-(* --metrics FILE: meter the run on a registry (no ring, so no recording
-   overhead) and write the snapshot as OpenMetrics text — the same
-   exposition Prometheus scrapes, shared with `trace_tool export`. *)
-let metrics_registry = function
-  | None -> None
-  | Some _ -> Some (Lk_obs.Metrics.create ())
+(* Observability outputs go through the shared Obs_cli plumbing (the same
+   --trace/--metrics/--profile vocabulary as experiments and loadgen);
+   --metrics here keeps its historical OpenMetrics text exposition — the
+   same format Prometheus scrapes, shared with `trace_tool export`. *)
+let obs_setup trace metrics profile = Obs_cli.setup ~trace ~metrics ~profile ()
 
-let metrics_sink = function
-  | None -> None
-  | Some r -> Some (Lk_obs.Obs.meter r)
-
-let write_metrics registry = function
-  | None -> ()
-  | Some path ->
-      let r = Option.get registry in
-      Lk_profile.Export.write_text path
-        (Lk_profile.Export.openmetrics (Lk_obs.Metrics.snapshot r))
+let obs_finish obs ~kind ~path =
+  Obs_cli.finish ~metrics_format:Obs_cli.Metrics_openmetrics obs ~label:"lcakp_cli"
+    ~meta:[ ("kind", "lcakp_cli-" ^ kind); ("instance", path) ]
+    ()
 
 (* ---- query ---- *)
 
-let run_query epsilon seed scale path indices counters metrics =
-  let registry = metrics_registry metrics in
-  let instance, access, algo =
-    make_algo ?sink:(metrics_sink registry) epsilon seed scale path
-  in
+let run_query epsilon seed scale path indices counters trace metrics profile =
+  let obs = obs_setup trace metrics profile in
+  let instance, access, algo = make_algo ~sink:obs.Obs_cli.sink epsilon seed scale path in
   let indices =
     if indices = [] then List.init (Instance.size instance) Fun.id else indices
   in
@@ -64,15 +55,13 @@ let run_query epsilon seed scale path indices counters metrics =
       Printf.printf "item %d: %s\n" i (if yes then "IN" else "OUT"))
     indices;
   write_counters access counters;
-  write_metrics registry metrics
+  obs_finish obs ~kind:"query" ~path
 
 (* ---- solve ---- *)
 
-let run_solve epsilon seed scale path counters metrics =
-  let registry = metrics_registry metrics in
-  let _, access, algo =
-    make_algo ?sink:(metrics_sink registry) epsilon seed scale path
-  in
+let run_solve epsilon seed scale path counters trace metrics profile =
+  let obs = obs_setup trace metrics profile in
+  let _, access, algo = make_algo ~sink:obs.Obs_cli.sink epsilon seed scale path in
   let norm = Lk_oracle.Access.normalized access in
   let state = Lk_lcakp.Lca_kp.run algo ~fresh:(Rng.create (Int64.of_int ((seed * 31) + 1))) in
   let sol = Lk_lcakp.Lca_kp.induced_solution algo state in
@@ -86,7 +75,7 @@ let run_solve epsilon seed scale path counters metrics =
   Printf.printf "# samples drawn this run: %d\n" (Lk_lcakp.Lca_kp.samples_per_query algo state);
   List.iter (fun i -> Printf.printf "%d\n" i) (Solution.indices sol);
   write_counters access counters;
-  write_metrics registry metrics
+  obs_finish obs ~kind:"solve" ~path
 
 (* ---- stats ---- *)
 
@@ -150,24 +139,18 @@ let counters_arg =
                  weighted samples, cache hits/misses) to $(docv) as \
                  deterministic JSON.  Stdout is unaffected.")
 
-let metrics_arg =
-  Arg.(value & opt (some string) None
-       & info [ "metrics" ] ~docv:"FILE"
-           ~doc:"Meter the run's event stream on a metrics registry and \
-                 write the snapshot to $(docv) as OpenMetrics text \
-                 exposition (counters, gauges, log2 histograms).  Stdout \
-                 is unaffected.")
-
 let query_cmd =
   let indices = Arg.(value & pos_right 0 int [] & info [] ~docv:"INDEX" ~doc:"Indices (default: all).") in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer LCA membership queries (one stateless run per query)")
-    Term.(const run_query $ epsilon_arg $ seed_arg $ scale_arg $ path_arg $ indices $ counters_arg $ metrics_arg)
+    Term.(const run_query $ epsilon_arg $ seed_arg $ scale_arg $ path_arg $ indices
+          $ counters_arg $ Obs_cli.trace_arg $ Obs_cli.metrics_arg $ Obs_cli.profile_arg)
 
 let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Materialize the solution one LCA run answers according to")
-    Term.(const run_solve $ epsilon_arg $ seed_arg $ scale_arg $ path_arg $ counters_arg $ metrics_arg)
+    Term.(const run_solve $ epsilon_arg $ seed_arg $ scale_arg $ path_arg $ counters_arg
+          $ Obs_cli.trace_arg $ Obs_cli.metrics_arg $ Obs_cli.profile_arg)
 
 let stats_cmd =
   Cmd.v

@@ -16,7 +16,10 @@ let id = "layering"
    lk_profile is a sibling consumer of lk_obs (trace analytics and
    exporters): it may read event streams and metrics snapshots but must
    not see oracles or the engine, so profiles stay pure functions of a
-   recorded stream. *)
+   recorded stream.  lk_serve (the query-serving tier) sits above the
+   LCA layer — it pools prepared lk_lcakp run states and fans answers
+   out through lk_parallel — but, like the LCA layers, must not see
+   lk_workloads: servers serve whatever instances they are handed. *)
 let foundation = [ "lk_util"; "lk_stats"; "lk_knapsack" ]
 let obs_side = foundation @ [ "lk_benchkit"; "lk_obs" ]
 let oracle_side = obs_side @ [ "lk_oracle" ]
@@ -40,6 +43,7 @@ let allowed : (string * string list) list =
     ("lk_repro", parallel_side);
     ("lk_lca", lca_side);
     ("lk_lcakp", lca_side);
+    ("lk_serve", lca_side @ [ "lk_lca"; "lk_lcakp" ]);
     ("lk_baselines", top);
     ("lk_hardness", top);
     ("lk_ext", top) ]

@@ -1,0 +1,44 @@
+let id = "serving-discipline"
+
+(* The serving tier's determinism argument hinges on one confinement: the
+   prepared-state pool ([Lk_serve.Pool]) is mutable shared state, and
+   [Lk_serve.Server] only ever touches it from its *serial* resolution
+   phase — which is what makes pool stats, LRU order and preparation
+   charges invariant to the --jobs count.  Code outside lib/serve that
+   reached into the pool directly (a binary admitting states mid-replay, a
+   library evicting behind the server's back) would re-open exactly the
+   races and order-dependence the server was built to exclude, so the pool
+   is confined the same way Domain/Atomic are confined to lib/parallel and
+   Sink/Ring to lib/obs: everyone else goes through [Lk_serve.Server]. *)
+
+let banned =
+  [ ( "Lk_serve.Pool",
+      "lib/serve/",
+      "mutates the prepared-state pool outside lib/serve; go through \
+       Lk_serve.Server, whose serial resolution phase is the pool's only \
+       writer (that confinement is the jobs-invariance argument)" ) ]
+
+let matches m name =
+  name = m
+  || (String.length name > String.length m
+      && String.sub name 0 (String.length m) = m
+      && name.[String.length m] = '.')
+
+let in_dir dir file =
+  String.length file >= String.length dir
+  && String.sub file 0 (String.length dir) = dir
+
+let check ~file tokens =
+  Array.to_list tokens
+  |> List.concat_map (fun (t : Tokenizer.token) ->
+         if t.Tokenizer.kind <> Tokenizer.Ident then []
+         else
+           List.filter_map
+             (fun (m, dir, why) ->
+               if matches m t.Tokenizer.text && not (in_dir dir file) then
+                 Some
+                   (Finding.make ~rule:id ~file ~line:t.Tokenizer.line
+                      ~col:t.Tokenizer.col
+                      (Printf.sprintf "'%s' %s" t.Tokenizer.text why))
+               else None)
+             banned)

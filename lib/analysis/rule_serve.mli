@@ -1,0 +1,11 @@
+(** [serving-discipline]: confine [Lk_serve.Pool] to [lib/serve].
+
+    The pool is the serving tier's only mutable shared structure;
+    [Lk_serve.Server] touches it exclusively from its serial resolution
+    phase, which is what makes pool stats and LRU order invariant to the
+    jobs count.  Everyone else goes through [Server] — same shape as the
+    parallelism rule (Domain/Atomic in lib/parallel) and the observability
+    rule (Sink/Ring in lib/obs). *)
+
+val id : string
+val check : file:string -> Tokenizer.token array -> Finding.t list

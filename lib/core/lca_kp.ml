@@ -74,6 +74,12 @@ let create ?(cache_size = default_cache_size) params access ~seed =
 let params t = t.params
 let access t = t.access
 
+(* The record copy shares [cache] and [order] (both mutable structures), so
+   views created with [with_access] populate and hit one common memo — the
+   serving pool swaps per-trial counter/sink views in while keeping the
+   prepared-state cache warm. *)
+let with_access t access = { t with access }
+
 let run t ~fresh =
   let sink = Access.sink t.access in
   let tilde =
@@ -125,12 +131,24 @@ let cache_stats t =
   let counters = Access.counters t.access in
   (Counters.cache_hits counters, Counters.cache_misses counters)
 
+let prepare ?(cache = true) t ~fresh = if cache then run_memo t ~fresh else run t ~fresh
+
 let answer t state i =
   let item = Access.query t.access i in
   Mapping_greedy.member t.params ~seed:t.seed state.decision item ~index:i
 
-let query ?(cache = true) t ~fresh i =
-  answer t (if cache then run_memo t ~fresh else run t ~fresh) i
+(* Batched answering: the oracle bill equals a fold of [answer] over [idx]
+   (k index queries), but the reveals go through [Access.query_many] — one
+   bulk counter charge and a single Index_batch trace event.  The member
+   rule itself is a pure function of (params, seed, decision, item, index),
+   so the answers are byte-identical to the singleton path. *)
+let answer_many t state idx =
+  let items = Access.query_many t.access idx in
+  Array.mapi
+    (fun j i -> Mapping_greedy.member t.params ~seed:t.seed state.decision items.(j) ~index:i)
+    idx
+
+let query ?(cache = true) t ~fresh i = answer t (prepare ~cache t ~fresh) i
 
 let induced_solution t state =
   Mapping_greedy.solution t.params ~seed:t.seed (Access.normalized t.access) state.decision

@@ -42,14 +42,37 @@ val create : ?cache_size:int -> Params.t -> Lk_oracle.Access.t -> seed:int64 -> 
 val params : t -> Params.t
 val access : t -> Lk_oracle.Access.t
 
+(** [with_access t access] is a view of [t] charging and tracing through
+    [access] while {b sharing} [t]'s memo cache (the cache is a mutable
+    structure common to all views).  [access] must expose the same
+    instance contents as [t]'s — typically an
+    [Lk_oracle.Access.with_counters] / [with_sink] view of it; the serving
+    pool uses this to route per-window accounting through fresh counters
+    without losing the warm prepared-state cache. *)
+val with_access : t -> Lk_oracle.Access.t -> t
+
 (** One stateless run of lines 1–19 (sampling + Ĩ + CONVERT-GREEDY).
     Never consults the cache: experiments that measure the per-run
     sampling bill use this directly. *)
 val run : t -> fresh:Lk_util.Rng.t -> state
 
+(** [prepare ?cache t ~fresh] runs lines 1–19 and returns the reusable run
+    state — {!run} through the memo cache ([cache] defaults to [true];
+    [~cache:false] recomputes).  [prepare] + repeated {!answer} is the
+    serving decomposition: preparation costs the full sampling bill once,
+    each answer then costs one index query. *)
+val prepare : ?cache:bool -> t -> fresh:Lk_util.Rng.t -> state
+
 (** [answer t state i] — lines 20–24: reveal item [i] (one index query) and
     apply the decision rule. *)
 val answer : t -> state -> int -> bool
+
+(** [answer_many t state idx] answers every index in [idx] against one
+    prepared state.  Byte-identical to folding {!answer} and the oracle
+    bill is the same ([Array.length idx] index queries), but the reveals
+    are amortized: one bulk counter charge, one [Index_batch] trace event
+    ({!Lk_oracle.Access.query_many}). *)
+val answer_many : t -> state -> int array -> bool array
 
 (** [query ?cache t ~fresh i] — the LCA proper: a stateless run followed by
     {!answer}.  Cost: [Tilde.samples_used] weighted samples + 1 index

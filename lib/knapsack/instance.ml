@@ -37,5 +37,17 @@ let normalize t =
   { items; capacity = t.capacity /. tw }
 
 let is_normalized ?(eps = 1e-9) t = Lk_util.Float_utils.approx_eq ~eps (total_profit t) 1.
+
+let digest t =
+  (* %h renders floats hex-exactly (same convention as Params.digest), so
+     two instances share a digest iff capacity and every (profit, weight)
+     are bit-identical; MD5 then fixes the length so the serving pool can
+     key on it regardless of n. *)
+  let buf = Buffer.create (32 * (size t + 1)) in
+  Buffer.add_string buf (Printf.sprintf "n=%d|K=%h" (size t) t.capacity);
+  Array.iter
+    (fun (it : Item.t) -> Buffer.add_string buf (Printf.sprintf "|%h,%h" it.profit it.weight))
+    t.items;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 let profits t = Array.map (fun (it : Item.t) -> it.profit) t.items
 let weights t = Array.map (fun (it : Item.t) -> it.weight) t.items

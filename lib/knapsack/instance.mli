@@ -36,6 +36,12 @@ val normalize : t -> t
 (** [is_normalized ?eps t] checks total profit ≈ 1. *)
 val is_normalized : ?eps:float -> t -> bool
 
+(** Deterministic content digest (hex, fixed length): two instances
+    collide iff the capacity and every item's (profit, weight) are
+    bit-identical (floats are rendered hex-exactly, as in
+    [Params.digest]).  The serving pool keys prepared run states on it. *)
+val digest : t -> string
+
 (** [map_items f t] transforms every item (capacity preserved). *)
 val map_items : (Item.t -> Item.t) -> t -> t
 

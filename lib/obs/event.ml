@@ -2,6 +2,7 @@ module Json = Lk_benchkit.Json
 
 type oracle =
   | Index_query of int
+  | Index_batch of int
   | Weighted_sample of int
   | Weighted_batch of int
 
@@ -18,6 +19,7 @@ type t =
 
 let label = function
   | Oracle_query (Index_query _) -> "oracle.index"
+  | Oracle_query (Index_batch _) -> "oracle.index_batch"
   | Oracle_query (Weighted_sample _) -> "oracle.sample"
   | Oracle_query (Weighted_batch _) -> "oracle.batch"
   | Cache_hit _ -> "cache.hit"
@@ -37,6 +39,8 @@ let num i = Json.Num (float_of_int i)
 let to_json = function
   | Oracle_query (Index_query i) ->
       Json.Obj [ ("t", Json.Str "oracle"); ("kind", Json.Str "index"); ("i", num i) ]
+  | Oracle_query (Index_batch k) ->
+      Json.Obj [ ("t", Json.Str "oracle"); ("kind", Json.Str "index_batch"); ("k", num k) ]
   | Oracle_query (Weighted_sample i) ->
       Json.Obj [ ("t", Json.Str "oracle"); ("kind", Json.Str "sample"); ("i", num i) ]
   | Oracle_query (Weighted_batch k) ->
@@ -75,6 +79,9 @@ let of_json json =
       | "index" ->
           let* i = get_int "i" json in
           Ok (Oracle_query (Index_query i))
+      | "index_batch" ->
+          let* k = get_int "k" json in
+          Ok (Oracle_query (Index_batch k))
       | "sample" ->
           let* i = get_int "i" json in
           Ok (Oracle_query (Weighted_sample i))

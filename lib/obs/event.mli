@@ -9,6 +9,7 @@
 
 type oracle =
   | Index_query of int  (** point query "reveal item i" *)
+  | Index_batch of int  (** batched point queries; payload = batch size k *)
   | Weighted_sample of int  (** one weighted sample; payload = drawn index *)
   | Weighted_batch of int  (** batched sampling; payload = batch size k *)
 

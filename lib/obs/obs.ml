@@ -15,6 +15,9 @@ let emit = Sink.push
 let emit_index_query s i =
   if Sink.enabled s then Sink.push s (Event.Oracle_query (Event.Index_query i))
 
+let emit_index_batch s k =
+  if Sink.enabled s then Sink.push s (Event.Oracle_query (Event.Index_batch k))
+
 let emit_weighted_sample s i =
   if Sink.enabled s then Sink.push s (Event.Oracle_query (Event.Weighted_sample i))
 

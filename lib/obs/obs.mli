@@ -30,6 +30,7 @@ val enabled : sink -> bool
 val emit : sink -> Event.t -> unit
 
 val emit_index_query : sink -> int -> unit
+val emit_index_batch : sink -> int -> unit
 val emit_weighted_sample : sink -> int -> unit
 val emit_weighted_batch : sink -> int -> unit
 val emit_cache_hit : sink -> samples:int -> index:int -> unit

@@ -48,6 +48,9 @@ let bump m (ev : Event.t) =
   | Event.Oracle_query (Event.Index_query i) ->
       Metrics.incr m.index_queries;
       Metrics.observe m.touched_index (float_of_int i)
+  | Event.Oracle_query (Event.Index_batch k) ->
+      Metrics.incr ~by:k m.index_queries;
+      Metrics.observe m.batch_size (float_of_int k)
   | Event.Oracle_query (Event.Weighted_sample i) ->
       Metrics.incr m.weighted_samples;
       Metrics.observe m.touched_index (float_of_int i)

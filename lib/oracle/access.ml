@@ -58,5 +58,6 @@ let size t = Lk_knapsack.Instance.size t.normalized
 let capacity t = Lk_knapsack.Instance.capacity t.normalized
 let counters t = t.counters
 let query t i = Query_oracle.item t.query_oracle i
+let query_many t idx = Query_oracle.items t.query_oracle idx
 let sample t rng = Weighted_oracle.sample t.weighted rng
 let sample_many t rng k = Weighted_oracle.sample_many t.weighted rng k

@@ -59,6 +59,12 @@ val counters : t -> Counters.t
     index query). *)
 val query : t -> int -> Lk_knapsack.Item.t
 
+(** [query_many t idx] reveals every index in [idx]; the bill equals a
+    fold of {!query} (k index queries) but the counters are charged in
+    bulk and the trace carries one [Index_batch] event — the batched
+    serving path's amortized oracle access. *)
+val query_many : t -> int array -> Lk_knapsack.Item.t array
+
 (** [sample t rng] draws a profit-weighted item (one counted sample). *)
 val sample : t -> Lk_util.Rng.t -> int * Lk_knapsack.Item.t
 

@@ -39,3 +39,22 @@ let item t i =
   Counters.charge_index_query t.counters;
   Obs.emit_index_query t.sink i;
   t.reveal i
+
+(* Bulk reveal: the oracle bill is identical to [Array.map (item t) idx]
+   (k index queries, budget debited by k) but the counter charge is one
+   bulk add and the trace carries a single [Index_batch k] event —
+   [Weighted_oracle.sample_many]'s amortization idiom applied to point
+   queries. *)
+let items t idx =
+  let k = Array.length idx in
+  Array.iter
+    (fun i -> if i < 0 || i >= t.n then invalid_arg "Query_oracle.items: index out of range")
+    idx;
+  (match t.budget with
+  | Some b ->
+      if t.used + k > b then raise Budget_exhausted;
+      t.used <- t.used + k
+  | None -> ());
+  Counters.charge_index_queries t.counters k;
+  if k > 0 then Obs.emit_index_batch t.sink k;
+  Array.map t.reveal idx

@@ -42,3 +42,10 @@ val with_sink : t -> Lk_obs.Obs.sink -> t
 (** [item t i] reveals item [i], charging one query.  Raises
     [Invalid_argument] when [i] is out of range. *)
 val item : t -> int -> Lk_knapsack.Item.t
+
+(** [items t idx] reveals every index in [idx] under one amortized access:
+    the bill is exactly [Array.length idx] index queries (budgets debit the
+    same amount), charged in bulk on the counters, and the trace carries a
+    single [Index_batch] event instead of one per item.  Raises
+    [Invalid_argument] when any index is out of range (nothing charged). *)
+val items : t -> int array -> Lk_knapsack.Item.t array

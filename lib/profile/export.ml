@@ -8,7 +8,9 @@ let queries_of_event (e : Event.t) =
   | Event.Oracle_query (Event.Index_query _)
   | Event.Oracle_query (Event.Weighted_sample _) ->
       1
-  | Event.Oracle_query (Event.Weighted_batch k) -> k
+  | Event.Oracle_query (Event.Index_batch k) | Event.Oracle_query (Event.Weighted_batch k)
+    ->
+      k
   | _ -> 0
 
 let perfetto tr =

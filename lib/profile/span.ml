@@ -37,6 +37,7 @@ let cost_of_event (e : Event.t) =
   let base = { zero with events = 1 } in
   match e with
   | Event.Oracle_query (Event.Index_query _) -> { base with index_queries = 1 }
+  | Event.Oracle_query (Event.Index_batch k) -> { base with index_queries = k }
   | Event.Oracle_query (Event.Weighted_sample _) -> { base with weighted_samples = 1 }
   | Event.Oracle_query (Event.Weighted_batch k) -> { base with weighted_samples = k }
   | Event.Cache_hit _ -> { base with cache_hits = 1 }

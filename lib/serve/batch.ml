@@ -1,0 +1,6 @@
+module Lca_kp = Lk_lcakp.Lca_kp
+
+let answer algo state idx = Lca_kp.answer_many algo state idx
+
+let answer_fold algo state idx =
+  Array.map (fun i -> Lca_kp.answer algo state i) idx

@@ -1,0 +1,50 @@
+type stats = { hits : int; misses : int; evictions : int }
+
+(* MRU-first association list.  Entry budgets in the serving tier are
+   small (tens of prepared states, each worth 10^5-10^6x its answer cost
+   to rebuild), so O(budget) per operation is irrelevant next to a single
+   pool miss — and a list keeps every operation trivially deterministic:
+   no hash order anywhere. *)
+type 'a t = {
+  budget : int;
+  mutable entries : (string * 'a) list;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~budget =
+  if budget < 1 then invalid_arg "Pool.create: budget must be >= 1";
+  { budget; entries = []; hits = 0; misses = 0; evictions = 0 }
+
+let budget t = t.budget
+let size t = List.length t.entries
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+let keys_mru t = List.map fst t.entries
+let mem t key = List.mem_assoc key t.entries
+
+let promote t key =
+  match List.assoc_opt key t.entries with
+  | None -> None
+  | Some v ->
+      t.entries <- (key, v) :: List.remove_assoc key t.entries;
+      Some v
+
+let find t key =
+  match promote t key with
+  | Some _ as hit ->
+      t.hits <- t.hits + 1;
+      hit
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t key value =
+  t.entries <- (key, value) :: List.remove_assoc key t.entries;
+  let n = List.length t.entries in
+  if n > t.budget then begin
+    (* Budget overflow by construction is exactly 1 (adds are one at a
+       time), but trim defensively to the budget. *)
+    t.entries <- List.filteri (fun i _ -> i < t.budget) t.entries;
+    t.evictions <- t.evictions + (n - t.budget)
+  end

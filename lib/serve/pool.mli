@@ -1,0 +1,40 @@
+(** LRU pool of prepared run states, keyed by instance digest.
+
+    The serving tier's working set: BENCH_PR5 put a prepared state's reuse
+    value at 10^5-10^6x (15-176 ms to prepare vs ~83 ns per answer), so
+    the pool's only job is to keep the hottest [budget] states resident
+    and evict deterministically (least-recently-used by digest) when the
+    budget is exceeded.
+
+    This module is the serving tier's {b only} mutable shared structure,
+    and the [serving-discipline] lint rule confines it to [lib/serve]:
+    binaries and other libraries go through {!Server}, which owns a pool
+    and touches it exclusively from its serial resolution phase — that
+    confinement is what makes pool stats jobs-invariant. *)
+
+type 'a t
+
+type stats = { hits : int; misses : int; evictions : int }
+
+(** [create ~budget] — an empty pool holding at most [budget] entries
+    ([budget >= 1]). *)
+val create : budget:int -> 'a t
+
+val budget : 'a t -> int
+val size : 'a t -> int
+
+(** [find t key] — on a hit the entry becomes most-recently-used.  Every
+    call records a hit or a miss in {!stats}. *)
+val find : 'a t -> string -> 'a option
+
+(** [add t key value] admits (or refreshes) [key] as most-recently-used,
+    evicting least-recently-used entries beyond the budget. *)
+val add : 'a t -> string -> 'a -> unit
+
+(** Membership without touching LRU order or stats. *)
+val mem : 'a t -> string -> bool
+
+(** Resident keys, most-recently-used first. *)
+val keys_mru : 'a t -> string list
+
+val stats : 'a t -> stats

@@ -1,0 +1,71 @@
+(** The query-serving tier: a {!Pool} of prepared run states shared across
+    domains, fed by deterministic {!Trace}s and answered through the
+    {!Batch} path.
+
+    {2 Determinism argument}
+
+    Each serve call processes the trace in windows.  Within a window:
+
+    + {b Resolution} (serial, trace order): every pool lookup, admission,
+      eviction, and state preparation happens here — the pool is never
+      touched off this phase, so LRU order, pool stats, and preparation
+      charges are pure functions of the trace prefix.
+    + {b Answering} (parallel): one {!Lk_parallel.Engine} trial per
+      distinct instance in the window, against read-only prepared states.
+      Trials charge private counters and record into private sinks; the
+      engine merges both in trial-index order.
+
+    Preparation streams are derived as [Rng.of_path seed ["serve-prepare";
+    digest]] — a function of (seed, digest) only — so a state rebuilt
+    after an eviction is bit-identical to its first build (and, with
+    [cache] on, is typically replayed from the PR 3 run-state memo rather
+    than recomputed).  Responses, merged counters, metrics, and traces are
+    therefore byte-identical at every [jobs]; the [@serve-smoke] alias
+    gates exactly that. *)
+
+type t
+
+(** Re-export of {!Pool.stats}: consumers outside lib/serve read the
+    report through this alias without naming [Pool] (the
+    serving-discipline lint confines [Pool] itself to lib/serve). *)
+type pool_stats = Pool.stats = { hits : int; misses : int; evictions : int }
+
+type report = {
+  responses : bool array;  (** answer per trace entry, in trace order *)
+  counters : Lk_oracle.Counters.t;
+      (** merged oracle bill of this call (preparations + answers) *)
+  pool : pool_stats;  (** pool hits/misses/evictions during this call *)
+  prepares : int;  (** states built or replayed (pool misses) *)
+  memo_hits : int;
+      (** preparations served from the run-state memo (0 when [~cache:false]) *)
+}
+
+(** [create ?budget ?window ?cache ?metrics ?sampling ~params ~seed
+    instances] — a server over a fixed instance universe.  [budget]
+    (default 8) bounds resident prepared states; [window] (default 4096)
+    is the resolution/answer batch size; [cache] (default [true]) routes
+    re-preparation through the run-state memo ([false] recomputes — the
+    transparency regression keeps both paths bit-identical); [metrics]
+    registers [serve.*] instruments on the given registry. *)
+val create :
+  ?budget:int ->
+  ?window:int ->
+  ?cache:bool ->
+  ?metrics:Lk_obs.Metrics.t ->
+  ?sampling:Lk_oracle.Access.sampling ->
+  params:Lk_lcakp.Params.t ->
+  seed:int64 ->
+  Lk_knapsack.Instance.t array ->
+  t
+
+(** Instance digests, in instance order (the pool's key space). *)
+val digests : t -> string array
+
+(** Cumulative pool stats since [create] (the pool persists across serve
+    calls — a second replay of the same trace runs warm). *)
+val pool_stats : t -> pool_stats
+
+(** [serve ?jobs ?sink t trace] replays [trace] and returns the answers
+    plus this call's accounting.  Byte-identical output for every [jobs]
+    value. *)
+val serve : ?jobs:int -> ?sink:Lk_obs.Obs.sink -> t -> Trace.t -> report

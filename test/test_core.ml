@@ -509,6 +509,40 @@ let prop_cache_transparent =
       && Lk_oracle.Counters.equal (Access.counters access_c) (Access.counters access_u)
       && fst (Lca_kp.cache_stats algo_c) > 0)
 
+let prop_pool_cache_transparent =
+  (* PR 7 extension of the transparency property: the same contract must
+     survive the serving tier's pool, where preparations are triggered by
+     LRU misses (including re-preparation after eviction) rather than by
+     direct query calls.  Cached and uncached servers over the same
+     instances and trace must agree on every response byte and on the
+     merged oracle bill — and the budget of 2 over 3 instances forces the
+     eviction + revisit path every run. *)
+  QCheck.Test.make ~name:"pool-backed: cached server = uncached server" ~count:5
+    QCheck.small_nat (fun tseed ->
+      let module Trace = Lk_serve.Trace in
+      let module Server = Lk_serve.Server in
+      let params = Params.practical ~sample_scale:0.05 0.25 in
+      let instances =
+        Array.init 3 (fun i ->
+            Gen.generate Gen.Uniform (Rng.create (Int64.of_int (50 + i))) ~n:200)
+      in
+      let trace =
+        Trace.generate ~theta_instances:0.3 ~seed:(Int64.of_int (tseed + 1))
+          ~sizes:[| 200; 200; 200 |] ~length:250 ()
+      in
+      let serve cache =
+        let server =
+          Server.create ~budget:2 ~window:64 ~cache ~params ~seed:42L instances
+        in
+        Server.serve ~jobs:2 server trace
+      in
+      let rc = serve true and ru = serve false in
+      rc.Server.responses = ru.Server.responses
+      && Lk_oracle.Counters.equal rc.Server.counters ru.Server.counters
+      && rc.Server.pool = ru.Server.pool
+      && rc.Server.memo_hits > 0
+      && ru.Server.memo_hits = 0)
+
 (* ---------- IKY value approximation (Lemma 4.4 / E8) ---------- *)
 
 let test_iky_value_bound () =
@@ -589,6 +623,7 @@ let () =
           Alcotest.test_case "eviction and disable" `Quick
             test_lcakp_cache_eviction_and_disable;
           QCheck_alcotest.to_alcotest prop_cache_transparent;
+          QCheck_alcotest.to_alcotest prop_pool_cache_transparent;
         ] );
       ( "iky-value",
         [ Alcotest.test_case "value bound (Lemma 4.4)" `Quick test_iky_value_bound ] );

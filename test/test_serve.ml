@@ -1,0 +1,289 @@
+module Rng = Lk_util.Rng
+module Instance = Lk_knapsack.Instance
+module Access = Lk_oracle.Access
+module Counters = Lk_oracle.Counters
+module Metrics = Lk_obs.Metrics
+module Params = Lk_lcakp.Params
+module Lca_kp = Lk_lcakp.Lca_kp
+module Gen = Lk_workloads.Gen
+module Pool = Lk_serve.Pool
+module Batch = Lk_serve.Batch
+module Trace = Lk_serve.Trace
+module Server = Lk_serve.Server
+
+(* ---------- Pool: LRU admission, eviction, stats ---------- *)
+
+let test_pool_budget_respected () =
+  let p = Pool.create ~budget:3 in
+  for i = 0 to 4 do
+    Pool.add p (string_of_int i) i
+  done;
+  Alcotest.(check int) "size capped at budget" 3 (Pool.size p);
+  Alcotest.(check int) "budget unchanged" 3 (Pool.budget p);
+  Alcotest.(check (list string)) "MRU order, oldest evicted" [ "4"; "3"; "2" ]
+    (Pool.keys_mru p);
+  let s = Pool.stats p in
+  Alcotest.(check int) "two evictions" 2 s.Pool.evictions;
+  Alcotest.(check int) "adds are not lookups" 0 (s.Pool.hits + s.Pool.misses)
+
+let test_pool_lru_promotion () =
+  let p = Pool.create ~budget:3 in
+  Pool.add p "a" 1;
+  Pool.add p "b" 2;
+  Pool.add p "c" 3;
+  (* Touch "a": it becomes MRU, so the next eviction hits "b". *)
+  Alcotest.(check (option int)) "hit returns value" (Some 1) (Pool.find p "a");
+  Alcotest.(check (list string)) "find promotes" [ "a"; "c"; "b" ] (Pool.keys_mru p);
+  Pool.add p "d" 4;
+  Alcotest.(check (list string)) "LRU evicted" [ "d"; "a"; "c" ] (Pool.keys_mru p);
+  Alcotest.(check bool) "b gone" false (Pool.mem p "b");
+  (* mem must not touch order or stats. *)
+  let s0 = Pool.stats p in
+  Alcotest.(check bool) "mem sees resident" true (Pool.mem p "c");
+  Alcotest.(check (list string)) "mem does not promote" [ "d"; "a"; "c" ]
+    (Pool.keys_mru p);
+  Alcotest.(check bool) "mem does not count" true (Pool.stats p = s0)
+
+let test_pool_stats_exact () =
+  let p = Pool.create ~budget:2 in
+  Alcotest.(check (option int)) "miss on empty" None (Pool.find p "x");
+  Pool.add p "x" 0;
+  ignore (Pool.find p "x");
+  ignore (Pool.find p "x");
+  ignore (Pool.find p "y");
+  Pool.add p "y" 1;
+  Pool.add p "z" 2;
+  let s = Pool.stats p in
+  Alcotest.(check int) "hits" 2 s.Pool.hits;
+  Alcotest.(check int) "misses" 2 s.Pool.misses;
+  Alcotest.(check int) "evictions" 1 s.Pool.evictions
+
+let test_pool_refresh_no_eviction () =
+  let p = Pool.create ~budget:2 in
+  Pool.add p "a" 1;
+  Pool.add p "b" 2;
+  (* Re-admitting a resident key refreshes value + recency, no eviction. *)
+  Pool.add p "a" 10;
+  Alcotest.(check int) "size stable" 2 (Pool.size p);
+  Alcotest.(check int) "no eviction" 0 (Pool.stats p).Pool.evictions;
+  Alcotest.(check (option int)) "value refreshed" (Some 10) (Pool.find p "a");
+  Alcotest.check_raises "budget must be >= 1"
+    (Invalid_argument "Pool.create: budget must be >= 1") (fun () ->
+      ignore (Pool.create ~budget:0))
+
+(* ---------- Trace: determinism, bounds, skew ---------- *)
+
+let test_trace_deterministic () =
+  let gen () =
+    Trace.generate ~theta_instances:1.2 ~theta_items:0.8 ~seed:5L
+      ~sizes:[| 100; 50; 200 |] ~length:500 ()
+  in
+  let a = gen () and b = gen () in
+  Alcotest.(check bool) "same seed, same entries" true
+    (Trace.entries a = Trace.entries b);
+  Alcotest.(check int) "length" 500 (Trace.length a);
+  Array.iter
+    (fun e ->
+      if e.Trace.instance < 0 || e.Trace.instance > 2 then
+        Alcotest.failf "instance %d out of range" e.Trace.instance;
+      let n = [| 100; 50; 200 |].(e.Trace.instance) in
+      if e.Trace.item < 0 || e.Trace.item >= n then
+        Alcotest.failf "item %d out of range for instance %d" e.Trace.item
+          e.Trace.instance)
+    (Trace.entries a);
+  let counts = Trace.instance_counts ~n_instances:3 a in
+  Alcotest.(check int) "counts cover the trace" 500
+    (Array.fold_left ( + ) 0 counts)
+
+let test_trace_skew () =
+  (* Strong instance skew: rank 0 must dominate; theta 0 is near-uniform. *)
+  let sizes = Array.make 8 50 in
+  let skewed =
+    Trace.generate ~theta_instances:2.0 ~seed:7L ~sizes ~length:4000 ()
+  in
+  let cs = Trace.instance_counts ~n_instances:8 skewed in
+  Array.iteri
+    (fun i c ->
+      if i > 0 && cs.(0) < c then
+        Alcotest.failf "rank 0 (%d) outdrawn by rank %d (%d)" cs.(0) i c)
+    cs;
+  Alcotest.(check bool) "rank 0 clearly dominates under theta=2" true
+    (float_of_int cs.(0) > 2. *. float_of_int cs.(7));
+  let flat = Trace.generate ~theta_instances:0. ~seed:7L ~sizes ~length:4000 () in
+  let cf = Trace.instance_counts ~n_instances:8 flat in
+  Array.iter
+    (fun c ->
+      (* 4000 draws over 8 ranks: uniform mean 500; allow generous noise. *)
+      if c < 300 || c > 700 then Alcotest.failf "theta=0 count %d not uniform" c)
+    cf
+
+let test_trace_validation () =
+  Alcotest.check_raises "empty sizes"
+    (Invalid_argument "Trace.generate: no instances") (fun () ->
+      ignore (Trace.generate ~seed:1L ~sizes:[||] ~length:1 ()));
+  Alcotest.check_raises "non-positive size"
+    (Invalid_argument "Trace.generate: instance sizes must be >= 1") (fun () ->
+      ignore (Trace.generate ~seed:1L ~sizes:[| 10; 0 |] ~length:1 ()));
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Trace.generate: negative length") (fun () ->
+      ignore (Trace.generate ~seed:1L ~sizes:[| 10 |] ~length:(-1) ()));
+  Alcotest.check_raises "bad theta"
+    (Invalid_argument "Trace.generate: theta_items must be finite and >= 0")
+    (fun () ->
+      ignore (Trace.generate ~theta_items:(-1.) ~seed:1L ~sizes:[| 10 |] ~length:1 ()))
+
+(* ---------- Batch: batched answers = fold of singletons ---------- *)
+
+let params = Params.practical ~sample_scale:0.05 0.25
+
+let prop_batch_differential =
+  QCheck.Test.make ~name:"batched = fold of Lca_kp.query (answers + bill)"
+    ~count:10
+    QCheck.(pair small_nat (list_of_size (QCheck.Gen.int_range 1 60) small_nat))
+    (fun (iseed, probes) ->
+      let inst =
+        Gen.generate Gen.Garbage_mix (Rng.create (Int64.of_int (iseed + 1))) ~n:300
+      in
+      let idx = Array.of_list (List.map (fun p -> p mod 300) probes) in
+      let run_path batched =
+        let access = Access.of_instance inst in
+        let algo = Lca_kp.create params access ~seed:11L in
+        let state = Lca_kp.prepare algo ~fresh:(Rng.create 4L) in
+        let answers =
+          if batched then Batch.answer algo state idx
+          else Batch.answer_fold algo state idx
+        in
+        (answers, Access.counters access)
+      in
+      let a, ca = run_path true in
+      let b, cb = run_path false in
+      a = b && Counters.equal ca cb)
+
+(* ---------- Server: jobs invariance ---------- *)
+
+let make_instances k n =
+  Array.init k (fun i ->
+      Gen.generate Gen.Uniform (Rng.create (Int64.of_int (100 + i))) ~n)
+
+let serve_once ~jobs ~cache ?budget instances trace =
+  let registry = Metrics.create () in
+  let server =
+    Server.create ?budget ~window:64 ~cache ~metrics:registry ~params ~seed:42L
+      instances
+  in
+  let report = Server.serve ~jobs server trace in
+  (report, Metrics.snapshot registry)
+
+let prop_jobs_invariance =
+  QCheck.Test.make
+    ~name:"serve at jobs 1/2/4: identical responses, counters, metrics"
+    ~count:5 QCheck.small_nat (fun tseed ->
+      let instances = make_instances 3 200 in
+      let trace =
+        Trace.generate ~seed:(Int64.of_int (tseed + 1)) ~sizes:[| 200; 200; 200 |]
+          ~length:300 ()
+      in
+      let r1, m1 = serve_once ~jobs:1 ~cache:true ~budget:2 instances trace in
+      let r2, m2 = serve_once ~jobs:2 ~cache:true ~budget:2 instances trace in
+      let r4, m4 = serve_once ~jobs:4 ~cache:true ~budget:2 instances trace in
+      r1.Server.responses = r2.Server.responses
+      && r1.Server.responses = r4.Server.responses
+      && Counters.equal r1.Server.counters r2.Server.counters
+      && Counters.equal r1.Server.counters r4.Server.counters
+      && r1.Server.pool = r2.Server.pool
+      && r1.Server.pool = r4.Server.pool
+      && r1.Server.prepares = r2.Server.prepares
+      && r1.Server.prepares = r4.Server.prepares
+      && Metrics.equal m1 m2 && Metrics.equal m1 m4)
+
+(* ---------- Server: eviction, re-preparation, memo hits ---------- *)
+
+let test_server_eviction_and_memo () =
+  (* Budget 1 with an alternating two-instance trace: every window flips
+     the resident state, so re-preparations happen — and with the cache on
+     they replay from the run-state memo instead of recomputing. *)
+  let instances = make_instances 2 200 in
+  (* theta 0 over two instances: every window=64 slice contains both, so a
+     budget-1 pool thrashes by construction. *)
+  let trace =
+    Trace.generate ~theta_instances:0. ~seed:3L ~sizes:[| 200; 200 |] ~length:240 ()
+  in
+  let server =
+    Server.create ~budget:1 ~window:64 ~cache:true ~params ~seed:42L instances
+  in
+  let r = Server.serve ~jobs:2 server trace in
+  Alcotest.(check int) "every entry answered" 240 (Array.length r.Server.responses);
+  Alcotest.(check bool) "evictions happened" true (r.Server.pool.Server.evictions > 0);
+  Alcotest.(check bool) "re-preparations happened" true
+    (r.Server.prepares > Array.length instances);
+  Alcotest.(check int) "prepares = pool misses" r.Server.pool.Server.misses
+    r.Server.prepares;
+  Alcotest.(check bool) "memo served re-preparations" true (r.Server.memo_hits > 0);
+  (* The server's cumulative stats agree with the single call's delta. *)
+  Alcotest.(check bool) "cumulative = delta on first call" true
+    (Server.pool_stats server = r.Server.pool)
+
+let test_server_warm_replay () =
+  let instances = make_instances 3 200 in
+  let trace =
+    Trace.generate ~seed:9L ~sizes:[| 200; 200; 200 |] ~length:200 ()
+  in
+  let server =
+    Server.create ~budget:4 ~window:64 ~cache:true ~params ~seed:42L instances
+  in
+  let cold = Server.serve server trace in
+  let warm = Server.serve server trace in
+  Alcotest.(check bool) "same answers warm" true
+    (cold.Server.responses = warm.Server.responses);
+  Alcotest.(check int) "warm replay never prepares" 0 warm.Server.prepares;
+  Alcotest.(check int) "warm replay never misses" 0 warm.Server.pool.Server.misses;
+  Alcotest.(check bool) "warm hits cover the lookups" true
+    (warm.Server.pool.Server.hits > 0)
+
+(* ---------- Cross-cutting: cached and uncached serving agree ---------- *)
+
+let test_server_cache_transparent () =
+  (* Satellite regression: with the budget forcing eviction + revisit, the
+     cached server replays preparations from the run-state memo while the
+     uncached one recomputes them — answers and oracle bills must be
+     bit-identical either way. *)
+  let instances = make_instances 3 200 in
+  let trace =
+    Trace.generate ~theta_instances:0.3 ~seed:13L ~sizes:[| 200; 200; 200 |]
+      ~length:300 ()
+  in
+  let rc, _ = serve_once ~jobs:2 ~cache:true ~budget:2 instances trace in
+  let ru, _ = serve_once ~jobs:2 ~cache:false ~budget:2 instances trace in
+  Alcotest.(check bool) "responses identical" true
+    (rc.Server.responses = ru.Server.responses);
+  Alcotest.(check bool) "oracle bills identical" true
+    (Counters.equal rc.Server.counters ru.Server.counters);
+  Alcotest.(check bool) "pool behavior identical" true (rc.Server.pool = ru.Server.pool);
+  Alcotest.(check bool) "cached path hit the memo" true (rc.Server.memo_hits > 0);
+  Alcotest.(check int) "uncached path never hits the memo" 0 ru.Server.memo_hits
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "budget respected" `Quick test_pool_budget_respected;
+          Alcotest.test_case "LRU promotion" `Quick test_pool_lru_promotion;
+          Alcotest.test_case "stats exact" `Quick test_pool_stats_exact;
+          Alcotest.test_case "refresh + validation" `Quick test_pool_refresh_no_eviction;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "deterministic + in range" `Quick test_trace_deterministic;
+          Alcotest.test_case "zipf skew" `Quick test_trace_skew;
+          Alcotest.test_case "validation" `Quick test_trace_validation;
+        ] );
+      ("batch", [ QCheck_alcotest.to_alcotest prop_batch_differential ]);
+      ( "server",
+        [
+          QCheck_alcotest.to_alcotest prop_jobs_invariance;
+          Alcotest.test_case "eviction + memo hits" `Quick test_server_eviction_and_memo;
+          Alcotest.test_case "warm replay" `Quick test_server_warm_replay;
+          Alcotest.test_case "cache transparency" `Quick test_server_cache_transparent;
+        ] );
+    ]

@@ -149,6 +149,38 @@ let kernel_benches =
       (stage (fun () -> Lk_stats.Alias.sample_many_into alias fresh_batch batch));
   ]
 
+let prepare_benches =
+  (* PR8 flat-kernel overhaul: the cold-preparation path (Tilde.build +
+     CONVERT-GREEDY through Lca_kp.run, no memo) across the instance-size
+     x epsilon grid, plus the two constructions it leans on.  Each bench
+     reuses one persistent algo so the preparation arena is warm — that is
+     the steady state a serving pool re-preparation sees. *)
+  let algo_100k_tight = Lca_kp.create params_tight access_100k ~seed:42L in
+  let fresh_p10 = Rng.create 1250L
+  and fresh_p10t = Rng.create 1251L
+  and fresh_p100 = Rng.create 1252L
+  and fresh_p100t = Rng.create 1253L in
+  let profits_10k = Lk_knapsack.Instance.profits norm_10k in
+  let ws = Lk_knapsack.Exact_dp.create_workspace () in
+  let fws = Lk_knapsack.Fptas.create_workspace () in
+  let fi = Lk_knapsack.Int_instance.to_float small_int_instance in
+  [
+    Test.make ~name:"cold prepare n=10k eps=0.25"
+      (stage (fun () -> Lca_kp.run algo_10k ~fresh:fresh_p10));
+    Test.make ~name:"cold prepare n=10k eps=0.15"
+      (stage (fun () -> Lca_kp.run algo_10k_tight ~fresh:fresh_p10t));
+    Test.make ~name:"cold prepare n=100k eps=0.25"
+      (stage (fun () -> Lca_kp.run algo_100k ~fresh:fresh_p100));
+    Test.make ~name:"cold prepare n=100k eps=0.15"
+      (stage (fun () -> Lca_kp.run algo_100k_tight ~fresh:fresh_p100t));
+    Test.make ~name:"alias build n=10k"
+      (stage (fun () -> Lk_stats.Alias.create profits_10k));
+    Test.make ~name:"exact dp value (workspace) n=200"
+      (stage (fun () -> Lk_knapsack.Exact_dp.value_in ws small_int_instance));
+    Test.make ~name:"fptas solve (workspace) eps=0.25 n=200"
+      (stage (fun () -> Lk_knapsack.Fptas.solve_in fws ~epsilon:0.25 fi));
+  ]
+
 let extension_benches =
   let model =
     { Lk_ext.Oblivious.family = Gen.Garbage_mix; n = 10_000; capacity_fraction = 0.4 }
@@ -195,6 +227,7 @@ let grouped =
       Test.make_grouped ~name:"ablation-tie-bits" tie_ablation_benches;
       Test.make_grouped ~name:"exact-solvers" solver_benches;
       Test.make_grouped ~name:"P2-kernels" kernel_benches;
+      Test.make_grouped ~name:"P3-prepare" prepare_benches;
       Test.make_grouped ~name:"E11-extensions" extension_benches;
       Test.make_grouped ~name:"substrates" substrate_benches;
     ]

@@ -54,6 +54,20 @@ let () =
             (String.concat "; "
                (side "only in baseline" missing @ side "only in candidate" added));
           exit 2);
+      (match cmp.Lk_benchkit.Benchkit.warnings with
+      | [] -> ()
+      | warns ->
+          (* Over-threshold but not gate-worthy: the r² on at least one
+             side is null or negative, so the ratio is a low-confidence
+             fit.  Say so loudly — on stderr, where humans look — without
+             failing the gate. *)
+          List.iter
+            (fun (d : Lk_benchkit.Benchkit.delta) ->
+              Printf.eprintf
+                "bench_compare: WARN %s is %.2fx over baseline but its fit \
+                 is low-confidence (r^2 null or negative); not gating\n"
+                d.Lk_benchkit.Benchkit.bench d.Lk_benchkit.Benchkit.ratio)
+            warns);
       match cmp.Lk_benchkit.Benchkit.regressions with
       | [] ->
           Printf.printf "OK: no bench regressed by more than %.0f%%\n"

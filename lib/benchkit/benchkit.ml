@@ -129,30 +129,54 @@ let render_table f =
 
 (* ------------------------------------------------------------- comparison *)
 
-type delta = { bench : string; baseline_ns : float; candidate_ns : float; ratio : float }
+type delta = {
+  bench : string;
+  baseline_ns : float;
+  candidate_ns : float;
+  ratio : float;
+  gated : bool;
+}
 
 type comparison = {
   deltas : delta list;
   regressions : delta list;
+  warnings : delta list;
   missing : string list;  (** in baseline, absent from candidate *)
   added : string list;  (** in candidate, absent from baseline *)
 }
 
+(* A row is gated (its ratio can hard-fail the compare) only when both
+   sides carry a meaningful fit: a null r² means bechamel's OLS could not
+   fit the measurement (tiny quota, one-shot timing), and a negative one
+   means the fit is worse than no model at all — in either case the ratio
+   is noise and may only warn.  Exact quantities smuggled into bench rows
+   (hit-rates, counts) declare r_square = Some 1.0 to stay gated. *)
+let confident = function Some r2 -> r2 >= 0. | None -> false
+
 let compare_files ~threshold ~baseline ~candidate =
-  let assoc results = List.map (fun r -> (r.name, r.ns_per_run)) results in
+  let assoc results = List.map (fun r -> (r.name, r)) results in
   let base = assoc baseline.results and cand = assoc candidate.results in
   let deltas =
     List.filter_map
-      (fun (name, b_ns) ->
+      (fun (name, (b : result)) ->
         match List.assoc_opt name cand with
-        | Some c_ns ->
-            Some { bench = name; baseline_ns = b_ns; candidate_ns = c_ns; ratio = c_ns /. b_ns }
+        | Some (c : result) ->
+            Some
+              {
+                bench = name;
+                baseline_ns = b.ns_per_run;
+                candidate_ns = c.ns_per_run;
+                ratio = c.ns_per_run /. b.ns_per_run;
+                gated = confident b.r_square && confident c.r_square;
+              }
         | None -> None)
       base
   in
+  let over = List.filter (fun d -> d.ratio > 1. +. threshold) deltas in
   {
     deltas;
-    regressions = List.filter (fun d -> d.ratio > 1. +. threshold) deltas;
+    regressions = List.filter (fun d -> d.gated) over;
+    warnings = List.filter (fun d -> not d.gated) over;
     missing =
       List.filter_map
         (fun (name, _) -> if List.mem_assoc name cand then None else Some name)
@@ -177,7 +201,9 @@ let render_comparison ~threshold c =
           Lk_util.Tbl.cell_ns d.baseline_ns;
           Lk_util.Tbl.cell_ns d.candidate_ns;
           Printf.sprintf "%.2fx" d.ratio;
-          (if d.ratio > 1. +. threshold then "REGRESSION" else "ok");
+          (if d.ratio > 1. +. threshold then
+             if d.gated then "REGRESSION" else "warn (low fit)"
+           else "ok");
         ])
     c.deltas;
   let buf = Buffer.create 256 in

@@ -42,18 +42,31 @@ val load : string -> (file, string) Stdlib.result
     [Tbl.cell_ns]). *)
 val render_table : file -> string
 
-type delta = { bench : string; baseline_ns : float; candidate_ns : float; ratio : float }
+type delta = {
+  bench : string;
+  baseline_ns : float;
+  candidate_ns : float;
+  ratio : float;
+  gated : bool;
+      (** both sides have a non-negative r² — the ratio is trustworthy
+          enough to hard-fail the gate.  A null r² (no OLS fit: one-shot
+          timing or starved quota) or a negative one (fit worse than no
+          model) downgrades the row to warn-only. *)
+}
 
 type comparison = {
   deltas : delta list;  (** benches present in both files, baseline order *)
-  regressions : delta list;  (** deltas with [ratio > 1 + threshold] *)
+  regressions : delta list;  (** gated deltas with [ratio > 1 + threshold] *)
+  warnings : delta list;  (** ungated deltas with [ratio > 1 + threshold] *)
   missing : string list;  (** in baseline, absent from candidate *)
   added : string list;  (** in candidate, absent from baseline *)
 }
 
 (** [compare_files ~threshold ~baseline ~candidate] — a candidate bench
     regresses when its time exceeds the baseline by more than [threshold]
-    (e.g. [0.15] = 15%). *)
+    (e.g. [0.15] = 15%) {e and} the row is gated; an over-threshold row
+    whose r² is null or negative on either side lands in [warnings]
+    instead (low-confidence fits inform, they don't gate). *)
 val compare_files : threshold:float -> baseline:file -> candidate:file -> comparison
 
 val render_comparison : threshold:float -> comparison -> string

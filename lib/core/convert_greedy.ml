@@ -2,11 +2,14 @@ module Solution = Lk_knapsack.Solution
 
 type decision = {
   index_large : Solution.t;
-  e_small_code : int option;
+  e_small_code : int;
   b_indicator : bool;
   prefix_len : int;
   k_cut : int;
 }
+
+(* Refined codes are non-negative, so -1 is free as "no cut-off". *)
+let no_small_cutoff = -1
 
 (* Canonical total order on Ĩ items: efficiency (code) descending, original
    items before synthetic at equal efficiency, then by index / bucket.  Any
@@ -65,7 +68,9 @@ let run (params : Params.t) (tilde : Tilde.t) =
              | Tilde.Original i when it.Tilde.profit > Params.large_profit_cutoff params -> Some i
              | Tilde.Original _ | Tilde.Synthetic _ -> None)
     in
-    let e_small_code = if k_cut >= 3 then Some (Eps.threshold eps (k_cut - 2)) else None in
+    let e_small_code =
+      if k_cut >= 3 then Eps.threshold eps (k_cut - 2) else no_small_cutoff
+    in
     {
       index_large = Solution.of_indices large;
       e_small_code;
@@ -83,5 +88,5 @@ let run (params : Params.t) (tilde : Tilde.t) =
       | Tilde.Original i -> Solution.singleton i
       | Tilde.Synthetic _ -> Solution.empty
     in
-    { index_large; e_small_code = None; b_indicator = true; prefix_len = j; k_cut }
+    { index_large; e_small_code = no_small_cutoff; b_indicator = true; prefix_len = j; k_cut }
   end

@@ -11,13 +11,18 @@
 type decision = {
   index_large : Lk_knapsack.Solution.t;
       (** original indices answered "yes" among large items *)
-  e_small_code : int option;
-      (** efficiency cut-off for small items (domain code); [None] ⇔ the
-          paper's −1 *)
+  e_small_code : int;
+      (** efficiency cut-off for small items (domain code);
+          {!no_small_cutoff} ⇔ the paper's −1.  A sentinel int rather than
+          an option so the per-query membership test stays allocation- and
+          indirection-free. *)
   b_indicator : bool;  (** true ⇔ the singleton branch was taken *)
   prefix_len : int;  (** j: number of Ĩ items the greedy prefix holds *)
   k_cut : int;  (** the paper's k: last EPS index above the break efficiency *)
 }
+
+(** The "no cut-off" sentinel ([-1]; real codes are non-negative). *)
+val no_small_cutoff : int
 
 (** [run params tilde] executes Algorithm 3.  Deterministic in [tilde]:
     equal constructed instances yield equal decisions (the consistency

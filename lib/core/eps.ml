@@ -12,7 +12,7 @@ let threshold t k =
   if k < 1 || k > length t then invalid_arg "Eps.threshold: index out of range";
   t.codes.(k - 1)
 
-let compute (params : Params.t) ~seed ~large_profit ~encoded_efficiencies =
+let compute ?scratch (params : Params.t) ~seed ~large_profit ~encoded_efficiencies =
   let epsilon = params.Params.epsilon in
   let small_mass = 1. -. large_profit in
   if small_mass < epsilon || Array.length encoded_efficiencies = 0 then empty
@@ -23,11 +23,18 @@ let compute (params : Params.t) ~seed ~large_profit ~encoded_efficiencies =
     else begin
       let rq = Params.rquantile_params params in
       let empirical = Lk_stats.Empirical.of_samples encoded_efficiencies in
+      (* One bootstrap workspace shared by all tmax quantile calls (and
+         reusable across prepares when the caller passes the arena's). *)
+      let scratch =
+        match scratch with
+        | Some b when Array.length b >= Array.length encoded_efficiencies -> b
+        | _ -> Array.make (Array.length encoded_efficiencies) 0
+      in
       let quantile_at k p =
         match params.Params.quantile with
         | Params.Reproducible ->
             let shared = Rng.of_path seed [ "lca-kp"; "rquantile"; string_of_int k ] in
-            Rquantile.run ~empirical rq ~shared ~p encoded_efficiencies
+            Rquantile.run ~empirical ~scratch rq ~shared ~p encoded_efficiencies
         | Params.Naive -> Lk_stats.Empirical.quantile empirical p
       in
       let raw =

@@ -24,9 +24,19 @@ val threshold : t -> int -> int
     (query-independent, so every run of the LCA derives identical
     randomness), enforces monotonicity, and trims a final threshold lying
     below ε².  Returns {!empty} when [1 − large_profit < ε] or when the
-    sample is too small to be meaningful. *)
+    sample is too small to be meaningful.
+
+    [?scratch] is an optional reusable workspace of length ≥
+    [Array.length encoded_efficiencies] handed down to the rQuantile
+    bootstrap (see {!Lk_repro.Rmedian.quantile}); contents are clobbered,
+    results are unchanged. *)
 val compute :
-  Params.t -> seed:int64 -> large_profit:float -> encoded_efficiencies:int array -> t
+  ?scratch:int array ->
+  Params.t ->
+  seed:int64 ->
+  large_profit:float ->
+  encoded_efficiencies:int array ->
+  t
 
 (** [is_eps_for params ~instance t] — reference check of Definition 4.3
     against a full instance: every bucket of small items has normalized

@@ -55,6 +55,7 @@ type t = {
   cache : cache_entry Cache_tbl.t;
   order : Key.t Queue.t;  (* FIFO eviction: deterministic, oldest first *)
   capacity : int;
+  arena : Prep_arena.t;  (* preparation workspace, shared like [cache] *)
 }
 
 let default_cache_size = 64
@@ -69,22 +70,23 @@ let create ?(cache_size = default_cache_size) params access ~seed =
     cache = Cache_tbl.create (max 1 (min cache_size 256));
     order = Queue.create ();
     capacity = cache_size;
+    arena = Prep_arena.create ();
   }
 
 let params t = t.params
 let access t = t.access
 
-(* The record copy shares [cache] and [order] (both mutable structures), so
-   views created with [with_access] populate and hit one common memo — the
-   serving pool swaps per-trial counter/sink views in while keeping the
-   prepared-state cache warm. *)
+(* The record copy shares [cache], [order] and [arena] (all mutable
+   structures), so views created with [with_access] populate and hit one
+   common memo — the serving pool swaps per-trial counter/sink views in
+   while keeping the prepared-state cache and the preparation arena warm. *)
 let with_access t access = { t with access }
 
 let run t ~fresh =
   let sink = Access.sink t.access in
   let tilde =
     Obs.phase sink "tilde-build" (fun () ->
-        Tilde.build t.params t.access ~seed:t.seed ~fresh)
+        Tilde.build ~arena:t.arena t.params t.access ~seed:t.seed ~fresh)
   in
   Obs.emit_partition sink
     ~large:(Array.length tilde.Tilde.large_indices)
@@ -133,20 +135,31 @@ let cache_stats t =
 
 let prepare ?(cache = true) t ~fresh = if cache then run_memo t ~fresh else run t ~fresh
 
-let answer t state i =
+(* The arena's salt memo as it currently stands (no growth): answers index
+   into it guarded by length, so an undersized memo only means a recompute. *)
+let arena_salts t = Prep_arena.salts t.arena 0
+
+let[@hot] answer t state i =
   let item = Access.query t.access i in
-  Mapping_greedy.member t.params ~seed:t.seed state.decision item ~index:i
+  Mapping_greedy.member ~salt_cache:(arena_salts t) t.params ~seed:t.seed state.decision
+    item ~index:i
 
 (* Batched answering: the oracle bill equals a fold of [answer] over [idx]
    (k index queries), but the reveals go through [Access.query_many] — one
    bulk counter charge and a single Index_batch trace event.  The member
    rule itself is a pure function of (params, seed, decision, item, index),
    so the answers are byte-identical to the singleton path. *)
-let answer_many t state idx =
+let[@hot] answer_many t state idx =
   let items = Access.query_many t.access idx in
-  Array.mapi
-    (fun j i -> Mapping_greedy.member t.params ~seed:t.seed state.decision items.(j) ~index:i)
-    idx
+  let salt_cache = arena_salts t in
+  let out = Array.make (Array.length idx) false in
+  for j = 0 to Array.length idx - 1 do
+    Array.unsafe_set out j
+      (Mapping_greedy.member ~salt_cache t.params ~seed:t.seed state.decision
+         (Array.unsafe_get items j)
+         ~index:(Array.unsafe_get idx j))
+  done;
+  out
 
 let query ?(cache = true) t ~fresh i = answer t (prepare ~cache t ~fresh) i
 

@@ -2,16 +2,16 @@ module Item = Lk_knapsack.Item
 module Instance = Lk_knapsack.Instance
 module Solution = Lk_knapsack.Solution
 
-let member (params : Params.t) ~seed (decision : Convert_greedy.decision) item ~index =
+let[@hot] member ?salt_cache (params : Params.t) ~seed (decision : Convert_greedy.decision)
+    item ~index =
   let cutoff = Params.large_profit_cutoff params in
   if item.Item.profit > cutoff then Solution.mem index decision.Convert_greedy.index_large
   else
-    match decision.Convert_greedy.e_small_code with
-    | None -> false
-    | Some cut ->
-        (not decision.Convert_greedy.b_indicator)
-        && Partition.classify ~epsilon:params.Params.epsilon item = Partition.Small
-        && Params.encode_efficiency params ~seed ~index (Item.efficiency item) >= cut
+    let cut = decision.Convert_greedy.e_small_code in
+    cut >= 0
+    && (not decision.Convert_greedy.b_indicator)
+    && Partition.classify ~epsilon:params.Params.epsilon item = Partition.Small
+    && Params.encode_efficiency ?salt_cache params ~seed ~index (Item.efficiency item) >= cut
 
 let solution params ~seed instance decision =
   let acc = ref Solution.empty in

@@ -18,6 +18,13 @@ val solution :
   Lk_knapsack.Solution.t
 
 (** [member params decision item ~index] — the membership rule for one
-    revealed item: the common core of {!solution} and {!Lca_kp.answer}. *)
+    revealed item: the common core of {!solution} and {!Lca_kp.answer}.
+    [?salt_cache] as in {!Params.encode_efficiency}. *)
 val member :
-  Params.t -> seed:int64 -> Convert_greedy.decision -> Lk_knapsack.Item.t -> index:int -> bool
+  ?salt_cache:int array ->
+  Params.t ->
+  seed:int64 ->
+  Convert_greedy.decision ->
+  Lk_knapsack.Item.t ->
+  index:int ->
+  bool

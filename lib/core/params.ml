@@ -66,10 +66,26 @@ let r_sample_size t =
 let rquantile_params t =
   { Lk_repro.Rquantile.tau = t.tau; rho = t.rho; beta = t.beta; bits = t.bits + t.tie_bits }
 
-let encode_efficiency t ~seed ~index eff =
+(* The tie-salt is a pure function of (seed, index) but costs a
+   derivation-path hash; [?salt_cache] (a [Prep_arena] lane, [-1] =
+   unfilled, always >= 0 once filled) memoizes it per index.  An index
+   beyond the cache simply recomputes — same value either way. *)
+let[@hot] encode_efficiency ?(salt_cache = [||]) t ~seed ~index eff =
+  let salt =
+    if index < Array.length salt_cache then begin
+      let s = Array.unsafe_get salt_cache index in
+      if s >= 0 then s
+      else begin
+        let s = Lk_repro.Domain.salt ~seed ~index in
+        Array.unsafe_set salt_cache index s;
+        s
+      end
+    end
+    else Lk_repro.Domain.salt ~seed ~index
+  in
   Lk_repro.Domain.refine ~tie_bits:t.tie_bits
     ~code:(Lk_repro.Domain.encode ~bits:t.bits eff)
-    ~salt:(Lk_repro.Domain.salt ~seed ~index)
+    ~salt
 
 let decode_efficiency t code =
   Lk_repro.Domain.decode ~bits:t.bits (Lk_repro.Domain.coarse ~tie_bits:t.tie_bits code)

@@ -63,8 +63,11 @@ val rquantile_params : t -> Lk_repro.Rquantile.params
 
 (** [encode_efficiency t ~seed ~index eff] — the refined domain code every
     efficiency comparison inside the LCA uses: monotone in [eff],
-    deterministic in (seed, index). *)
-val encode_efficiency : t -> seed:int64 -> index:int -> float -> int
+    deterministic in (seed, index).  [?salt_cache] (a {!Prep_arena} salt
+    lane) memoizes the per-index tie-salt; passing it never changes the
+    result, only skips the derivation-path hash on a warm slot. *)
+val encode_efficiency :
+  ?salt_cache:int array -> t -> seed:int64 -> index:int -> float -> int
 
 (** Efficiency represented by a refined code (tie bits dropped). *)
 val decode_efficiency : t -> int -> float

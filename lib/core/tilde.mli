@@ -29,8 +29,16 @@ type t = {
     + assemble Ĩ.
 
     [seed] is the LCA's read-only shared seed; [fresh] the run's private
-    sampling entropy. *)
-val build : Params.t -> Lk_oracle.Access.t -> seed:int64 -> fresh:Lk_util.Rng.t -> t
+    sampling entropy.  [?arena] is the reusable preparation workspace (salt
+    memo, code buffer, bootstrap scratch); recycling one across builds
+    changes allocation behaviour only, never the result. *)
+val build :
+  ?arena:Prep_arena.t ->
+  Params.t ->
+  Lk_oracle.Access.t ->
+  seed:int64 ->
+  fresh:Lk_util.Rng.t ->
+  t
 
 (** [to_instance t] converts Ĩ into a plain solver instance (for
     {!Iky_value}'s exact solve).  Raises if Ĩ is empty. *)

@@ -1,10 +1,29 @@
+module A1 = Bigarray.Array1
+
+type int_table = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
+type float_table = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
 type t = {
   mutable ints : int array;
   mutable floats : float array;
   mutable rows : Bytes.t array;
+  mutable itable : int_table;
+  mutable ftable : float_table;
+  mutable plane : int_table;
 }
 
-let create () = { ints = [||]; floats = [||]; rows = [||] }
+let empty_int_table : int_table = A1.create Bigarray.int Bigarray.c_layout 0
+let empty_float_table : float_table = A1.create Bigarray.float64 Bigarray.c_layout 0
+
+let create () =
+  {
+    ints = [||];
+    floats = [||];
+    rows = [||];
+    itable = empty_int_table;
+    ftable = empty_float_table;
+    plane = empty_int_table;
+  }
 
 let ints t len ~fill =
   if Array.length t.ints < len then t.ints <- Array.make len fill
@@ -15,6 +34,47 @@ let floats t len ~fill =
   if Array.length t.floats < len then t.floats <- Array.make len fill
   else Array.fill t.floats 0 len fill;
   t.floats
+
+(* Bigarray workspaces only ever grow, like the boxed ones above; the
+   zeroed prefix is re-initialized through a sub view so the C memset path
+   does the work. *)
+
+let int_table t len ~fill =
+  if A1.dim t.itable < len then
+    t.itable <- A1.create Bigarray.int Bigarray.c_layout len;
+  A1.fill (A1.sub t.itable 0 len) fill;
+  t.itable
+
+let float_table t len ~fill =
+  if A1.dim t.ftable < len then
+    t.ftable <- A1.create Bigarray.float64 Bigarray.c_layout len;
+  A1.fill (A1.sub t.ftable 0 len) fill;
+  t.ftable
+
+(* The take-bit plane: one flat word array holding every row of the
+   reconstruction bit-matrix, 32 bits per word so the column split
+   [c lsr 5 / c land 31] is two shift-class instructions (a 63-bit OCaml
+   int could hold more, but 63 is not a power of two and the division
+   would cost more than the wasted bits). *)
+
+let plane_word_shift = 5
+let plane_word_mask = 31
+let plane_words ~cols = (cols lsr plane_word_shift) + 1
+
+let plane t ~rows ~cols =
+  let len = rows * plane_words ~cols in
+  if A1.dim t.plane < len then
+    t.plane <- A1.create Bigarray.int Bigarray.c_layout len;
+  A1.fill (A1.sub t.plane 0 len) 0;
+  t.plane
+
+let[@hot] plane_set (p : int_table) ~width r c =
+  let idx = (r * width) + (c lsr plane_word_shift) in
+  A1.unsafe_set p idx (A1.unsafe_get p idx lor (1 lsl (c land plane_word_mask)))
+
+let[@hot] plane_bit (p : int_table) ~width r c =
+  let idx = (r * width) + (c lsr plane_word_shift) in
+  (A1.unsafe_get p idx lsr (c land plane_word_mask)) land 1
 
 let rows t ~count ~bytes =
   if Array.length t.rows < count then begin

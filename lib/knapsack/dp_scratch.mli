@@ -1,4 +1,4 @@
-(** Reusable scratch buffers for the table-based solvers ({!Exact_dp},
+(** Reusable flat workspaces for the table-based solvers ({!Exact_dp},
     {!Fptas}).
 
     A scratch only ever grows; each acquisition re-initializes exactly the
@@ -6,9 +6,22 @@
     scratch is bitwise identical to one allocating fresh arrays — the
     differential property tests pin the two paths equal.  Not thread-safe:
     one scratch per domain (the parallel engine's per-trial closures each
-    build their own). *)
+    build their own).
+
+    The DP kernels run on unboxed 1-D {!Bigarray.Array1} workspaces
+    ({!int_table} / {!float_table}) and a single bitset-packed {!plane}
+    replacing the former per-row [Bytes] matrix; 2-D indexing is manual
+    [(row * width) + col].  The boxed [ints]/[floats]/[rows] buffers and
+    the per-row bit accessors remain as the naive reference storage the
+    differential tests compare against. *)
 
 type t
+
+(** Unboxed int / float 1-D workspaces (C layout). *)
+type int_table = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type float_table =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 val create : unit -> t
 
@@ -20,12 +33,37 @@ val ints : t -> int -> fill:int -> int array
 (** [floats t len ~fill] — float counterpart of {!ints}. *)
 val floats : t -> int -> fill:float -> float array
 
+(** [int_table t len ~fill] returns the scratch's unboxed int workspace,
+    grown to >= [len] with the first [len] cells set to [fill]. *)
+val int_table : t -> int -> fill:int -> int_table
+
+(** [float_table t len ~fill] — float64 counterpart of {!int_table}. *)
+val float_table : t -> int -> fill:float -> float_table
+
+(** [plane_words ~cols] is the width in words of a plane row covering
+    columns [0 .. cols-1] (32 bits per word). *)
+val plane_words : cols:int -> int
+
+(** [plane t ~rows ~cols] returns the scratch's bitset plane, grown to
+    cover [rows * plane_words ~cols] words and zeroed on that prefix.  Bit
+    [(r, c)] lives at word [(r * plane_words ~cols) + (c lsr 5)], bit
+    [c land 31]. *)
+val plane : t -> rows:int -> cols:int -> int_table
+
+(** [plane_set p ~width r c] sets bit [(r, c)] of a plane acquired with
+    row width [width] (= [plane_words ~cols]).  Unchecked. *)
+val plane_set : int_table -> width:int -> int -> int -> unit
+
+(** [plane_bit p ~width r c] reads bit [(r, c)] as [0]/[1] — branch-free,
+    for reconstruction walks.  Unchecked. *)
+val plane_bit : int_table -> width:int -> int -> int -> int
+
 (** [rows t ~count ~bytes] returns an array of >= [count] byte rows, the
-    first [count] of which are >= [bytes] long and zeroed — the
-    reconstruction bit-matrix of the DP solvers. *)
+    first [count] of which are >= [bytes] long and zeroed — the naive
+    reconstruction bit-matrix the plane is differentially tested against. *)
 val rows : t -> count:int -> bytes:int -> Bytes.t array
 
-(** Bit accessors over a row, little-endian within each byte. *)
+(** Bit accessors over a byte row, little-endian within each byte. *)
 val set_bit : Bytes.t -> int -> unit
 
 val get_bit : Bytes.t -> int -> bool

@@ -1,58 +1,74 @@
+module A1 = Bigarray.Array1
+
 type workspace = Dp_scratch.t
 
 let create_workspace = Dp_scratch.create
 
-let solve_in ws ~epsilon instance =
+let[@hot] solve_in ws ~epsilon instance =
   if epsilon <= 0. || epsilon >= 1. then invalid_arg "Fptas.solve: epsilon must be in (0, 1)";
   let n = Instance.size instance in
   let k = Instance.capacity instance in
-  (* Only items that individually fit can ever be used. *)
-  let usable = ref [] in
-  for i = n - 1 downto 0 do
-    if (Instance.item instance i).Item.weight <= k then usable := i :: !usable
+  (* One int workspace holds both item-indexed lanes of the arena:
+     [buf.(0 .. m)] the usable item indices (those that individually fit),
+     [buf.(n .. n+m)] their scaled profits. *)
+  let buf = Dp_scratch.ints ws (2 * n) ~fill:0 in
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    if (Instance.item instance i).Item.weight <= k then begin
+      Array.unsafe_set buf !m i;
+      incr m
+    end
   done;
-  let usable = Array.of_list !usable in
-  let m = Array.length usable in
+  let m = !m in
   if m = 0 then (0., Solution.empty)
   else begin
-    let profit i = (Instance.item instance usable.(i)).Item.profit in
-    let weight i = (Instance.item instance usable.(i)).Item.weight in
+    let profit j = (Instance.item instance (Array.unsafe_get buf j)).Item.profit in
+    let weight j = (Instance.item instance (Array.unsafe_get buf j)).Item.weight in
     let p_max = ref 0. in
-    for i = 0 to m - 1 do
-      if profit i > !p_max then p_max := profit i
+    for j = 0 to m - 1 do
+      if profit j > !p_max then p_max := profit j
     done;
     if !p_max = 0. then (0., Solution.empty)
     else begin
       let mu = epsilon *. !p_max /. float_of_int m in
-      let scaled = Array.init m (fun i -> int_of_float (floor (profit i /. mu))) in
-      let total = Array.fold_left ( + ) 0 scaled in
-      (* min-weight to achieve each scaled profit, with reconstruction. *)
-      let table = Dp_scratch.floats ws (total + 1) ~fill:infinity in
-      table.(0) <- 0.;
-      let take = Dp_scratch.rows ws ~count:m ~bytes:((total / 8) + 1) in
+      let total = ref 0 in
+      for j = 0 to m - 1 do
+        let s = int_of_float (floor (profit j /. mu)) in
+        Array.unsafe_set buf (n + j) s;
+        total := !total + s
+      done;
+      let total = !total in
+      (* min-weight to achieve each scaled profit, with reconstruction in
+         the bitset plane. *)
+      let table = Dp_scratch.float_table ws (total + 1) ~fill:infinity in
+      A1.unsafe_set table 0 0.;
+      let width = Dp_scratch.plane_words ~cols:(total + 1) in
+      let take = Dp_scratch.plane ws ~rows:m ~cols:(total + 1) in
       (* Entries only ever decrease, so the best feasible scaled profit is
          tracked at the update that first dips under the capacity — same
          running-best device as Exact_dp.min_weight_per_profit. *)
       let best = ref 0 in
-      for i = 0 to m - 1 do
-        let p = scaled.(i) and w = weight i in
-        let row = take.(i) in
+      for j = 0 to m - 1 do
+        let p = Array.unsafe_get buf (n + j) and w = weight j in
         for v = total downto p do
-          if table.(v - p) +. w < table.(v) then begin
-            table.(v) <- table.(v - p) +. w;
-            if table.(v) <= k && v > !best then best := v;
-            Dp_scratch.set_bit row v
+          let candidate = A1.unsafe_get table (v - p) +. w in
+          if candidate < A1.unsafe_get table v then begin
+            A1.unsafe_set table v candidate;
+            if candidate <= k && v > !best then best := v;
+            Dp_scratch.plane_set take ~width j v
           end
         done
       done;
-      let rec rebuild i v acc =
-        if i < 0 then acc
-        else if v >= scaled.(i) && Dp_scratch.get_bit take.(i) v then
-          rebuild (i - 1) (v - scaled.(i)) (usable.(i) :: acc)
-        else rebuild (i - 1) v acc
-      in
-      let sol = Solution.of_indices (rebuild (m - 1) !best []) in
-      (Solution.profit instance sol, sol)
+      let sol = ref Solution.empty in
+      let v = ref !best in
+      for j = m - 1 downto 0 do
+        let p = Array.unsafe_get buf (n + j) in
+        if !v >= p && Dp_scratch.plane_bit take ~width j !v = 1 then begin
+          sol := Solution.add (Array.unsafe_get buf j) !sol;
+          v := !v - p
+        end
+      done;
+      (Solution.profit instance !sol, !sol)
     end
   end
 

@@ -39,7 +39,7 @@ let draw_threshold ~shared ~tau p =
   let q = p -. (tau /. 4.) +. (tau /. 2. *. Rng.float shared) in
   Fu.clamp ~lo:1e-9 ~hi:1. q
 
-let rec quantile ?empirical params ~shared ~p samples =
+let rec quantile ?empirical ?scratch params ~shared ~p samples =
   validate params;
   if Array.length samples = 0 then invalid_arg "Rmedian.quantile: empty sample";
   let e = match empirical with Some e -> e | None -> Empirical.of_samples samples in
@@ -51,18 +51,18 @@ let rec quantile ?empirical params ~shared ~p samples =
   else begin
     (* Heavy-point shortcut: a domain point carrying mass >= θ̂ across q̂ is
        detected identically by both runs and returned verbatim.  The cutoff
-       randomization is the {!Heavy_hitters} primitive. *)
+       randomization is the {!Heavy_hitters} primitive.  The point straddling
+       q̂ (cdf_strict < q̂ <= cdf) is unique — distinct-value runs partition
+       the sorted sample, and only the run covering rank ⌈q̂·n⌉ qualifies —
+       so one O(log n) quantile lookup plus a mass probe replaces the former
+       scan of every heavy point, with the same result. *)
     let theta_hat =
       Heavy_hitters.cutoff
         { Heavy_hitters.threshold = params.tau /. 2.; rho = params.rho }
         ~shared
     in
-    let heavy = Empirical.heavy_points e ~threshold:theta_hat in
-    let straddler =
-      List.find_opt
-        (fun (v, _) -> Empirical.cdf e v >= q_hat && Empirical.cdf_strict e v < q_hat)
-        heavy
-    in
+    let candidate = Empirical.quantile e q_hat in
+    let candidate_heavy = Empirical.mass e candidate >= theta_hat in
     (* Shared randomness is consumed in a fixed order regardless of the
        branch taken, so parallel runs stay aligned. *)
     let boundary_shift = Rng.float shared in
@@ -75,17 +75,35 @@ let rec quantile ?empirical params ~shared ~p samples =
            then pick its scale exponent by a *recursive* reproducible median
            over the exponent domain [0 .. bits] — the log* step.  The shared
            [boundary_shift] randomizes the power-of-two rounding boundary so
-           no width distribution can sit exactly on an exponent edge. *)
+           no width distribution can sit exactly on an exponent edge.
+
+           Chunks are sorted in place inside one scratch buffer (the
+           caller's [?scratch] when it is big enough): same values per chunk
+           as the former per-chunk copy + sort, without the 64 intermediate
+           arrays. *)
         let chunk = n / bootstrap_chunks in
-        let widths =
-          Array.init bootstrap_chunks (fun c ->
-              let sub = Array.sub samples (c * chunk) chunk in
-              let ce = Empirical.of_samples sub in
-              let a = Empirical.quantile ce (q_hat -. (params.tau /. 4.)) in
-              let b = Empirical.quantile ce (q_hat +. (params.tau /. 4.)) in
-              let w = float_of_int (max 1 (b - a)) in
-              max 0 (int_of_float (floor (Fu.log2 w +. boundary_shift))))
+        let used = chunk * bootstrap_chunks in
+        let buf =
+          match scratch with
+          | Some b when Array.length b >= used -> b
+          | _ -> Array.make used 0
         in
+        Array.blit samples 0 buf 0 used;
+        let widths = Array.make bootstrap_chunks 0 in
+        for c = 0 to bootstrap_chunks - 1 do
+          let pos = c * chunk in
+          Lk_util.Int_sort.sort_range buf ~pos ~len:chunk;
+          let a =
+            Empirical.quantile_sorted_range buf ~pos ~len:chunk
+              (q_hat -. (params.tau /. 4.))
+          in
+          let b =
+            Empirical.quantile_sorted_range buf ~pos ~len:chunk
+              (q_hat +. (params.tau /. 4.))
+          in
+          let w = float_of_int (max 1 (b - a)) in
+          widths.(c) <- max 0 (int_of_float (floor (Fu.log2 w +. boundary_shift)))
+        done;
         let rec_params =
           { tau = 0.25; rho = params.rho /. 2.; bits = Domain.exponent_bits params.bits }
         in
@@ -95,18 +113,19 @@ let rec quantile ?empirical params ~shared ~p samples =
       end
     in
     let offset = if spacing = 1 then 0 else Rng.int_bound shared spacing in
-    match straddler with
-    | Some (v, _) -> v
-    | None ->
-        let size = Domain.size params.bits in
-        let nth m = min (size - 1) (offset + (m * spacing)) in
-        let count = ((size - offset + spacing - 1) / spacing) + 1 in
-        (match Empirical.crossing e ~grid:(count, nth) q_hat with
-        | Some g -> g
-        | None ->
-            (* Unreachable: the last grid point clamps to the domain top,
-               whose empirical CDF is 1 >= q̂. *)
-            Empirical.quantile e q_hat)
+    if candidate_heavy then candidate
+    else begin
+      let size = Domain.size params.bits in
+      let nth m = min (size - 1) (offset + (m * spacing)) in
+      let count = ((size - offset + spacing - 1) / spacing) + 1 in
+      match Empirical.crossing e ~grid:(count, nth) q_hat with
+      | Some g -> g
+      | None ->
+          (* Unreachable: the last grid point clamps to the domain top,
+             whose empirical CDF is 1 >= q̂. *)
+          Empirical.quantile e q_hat
+    end
   end
 
-let median ?empirical params ~shared samples = quantile ?empirical params ~shared ~p:0.5 samples
+let median ?empirical ?scratch params ~shared samples =
+  quantile ?empirical ?scratch params ~shared ~p:0.5 samples

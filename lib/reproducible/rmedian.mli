@@ -53,9 +53,15 @@ val theoretical_sample_complexity : params -> float
 
     [?empirical] lets a caller that issues many quantile calls over the
     same sample pass the sorted view once instead of re-sorting per call
-    (it must be [Empirical.of_samples samples]). *)
+    (it must be [Empirical.of_samples samples]).
+
+    [?scratch] is an optional reusable workspace of length ≥
+    [Array.length samples] for the bootstrap stage; its contents are
+    clobbered.  Purely an allocation saving — results are identical with or
+    without it. *)
 val quantile :
   ?empirical:Lk_stats.Empirical.t ->
+  ?scratch:int array ->
   params ->
   shared:Lk_util.Rng.t ->
   p:float ->
@@ -64,7 +70,12 @@ val quantile :
 
 (** [median params ~shared samples] is [quantile params ~shared ~p:0.5]. *)
 val median :
-  ?empirical:Lk_stats.Empirical.t -> params -> shared:Lk_util.Rng.t -> int array -> int
+  ?empirical:Lk_stats.Empirical.t ->
+  ?scratch:int array ->
+  params ->
+  shared:Lk_util.Rng.t ->
+  int array ->
+  int
 
 (** Depth of the exponent-domain recursion for a given domain width —
     the implementation's analogue of [log* |X|]. *)

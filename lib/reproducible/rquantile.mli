@@ -26,9 +26,10 @@ val sample_size : ?scale:float -> params -> int
 val theoretical_sample_complexity : params -> float
 
 (** [run params ~shared ~p samples] — native reproducible p-quantile.
-    [?empirical] as in {!Rmedian.quantile}. *)
+    [?empirical] and [?scratch] as in {!Rmedian.quantile}. *)
 val run :
   ?empirical:Lk_stats.Empirical.t ->
+  ?scratch:int array ->
   params ->
   shared:Lk_util.Rng.t ->
   p:float ->

@@ -36,6 +36,7 @@ type report = {
   pool : pool_stats;
   prepares : int;
   memo_hits : int;
+  prepare_ns : float;
 }
 
 let default_budget = 8
@@ -125,6 +126,10 @@ let serve ?jobs ?(sink = Obs.null) (t : t) trace =
   let master = Counters.create () in
   let stats0 = Pool.stats t.pool in
   let prepares0 = t.prepares in
+  (* Wall-clock spent on pool-miss preparations this call.  Observational
+     only (Stopwatch discipline): it is returned for stderr/bench-file
+     reporting and must never reach a deterministic output channel. *)
+  let prepare_ns = ref 0. in
   let n_windows = (len + t.window - 1) / t.window in
   for w = 0 to n_windows - 1 do
     let lo = w * t.window and hi = min len ((w + 1) * t.window) in
@@ -144,10 +149,12 @@ let serve ?jobs ?(sink = Obs.null) (t : t) trace =
               | Some state -> state
               | None ->
                   let algo = view t ~instance:g.g_instance ~counters:master ~sink in
-                  let state =
-                    Lca_kp.prepare ~cache:t.cache algo
-                      ~fresh:(prepare_fresh t digest)
+                  let state, ns =
+                    Lk_benchkit.Stopwatch.time (fun () ->
+                        Lca_kp.prepare ~cache:t.cache algo
+                          ~fresh:(prepare_fresh t digest))
                   in
+                  prepare_ns := !prepare_ns +. ns;
                   t.prepares <- t.prepares + 1;
                   Pool.add t.pool digest state;
                   state
@@ -203,4 +210,5 @@ let serve ?jobs ?(sink = Obs.null) (t : t) trace =
     pool = pool_delta;
     prepares = t.prepares - prepares0;
     memo_hits = Counters.cache_hits master;
+    prepare_ns = !prepare_ns;
   }

@@ -38,6 +38,12 @@ type report = {
   prepares : int;  (** states built or replayed (pool misses) *)
   memo_hits : int;
       (** preparations served from the run-state memo (0 when [~cache:false]) *)
+  prepare_ns : float;
+      (** wall-clock ns spent preparing pool-missed states this call — the
+          cold-preparation latency the pool hides from answer traffic.  A
+          {e measurement} (via {!Lk_benchkit.Stopwatch}), so unlike every
+          other field it is not deterministic: report it on stderr or in
+          bench files only, never on a byte-compared output channel. *)
 }
 
 (** [create ?budget ?window ?cache ?metrics ?sampling ~params ~seed

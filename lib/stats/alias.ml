@@ -4,7 +4,7 @@ type t = {
   weights : float array;  (* normalized weights, for [probability] *)
 }
 
-let create weights =
+let[@hot] create weights =
   let n = Array.length weights in
   if n = 0 then invalid_arg "Alias.create: empty weights";
   Array.iter (fun w -> if w < 0. || not (Float.is_finite w) then
@@ -14,20 +14,34 @@ let create weights =
   let norm = Array.map (fun w -> w /. total) weights in
   let scaled = Array.map (fun p -> p *. float_of_int n) norm in
   let prob = Array.make n 1. and alias = Array.init n (fun i -> i) in
-  let small = Queue.create () and large = Queue.create () in
-  Array.iteri (fun i s -> Queue.push i (if s < 1. then small else large)) scaled;
-  while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
-    let s = Queue.pop small and l = Queue.pop large in
+  (* Vose pairing with two flat FIFO queues (head/tail cursors into int
+     arrays) instead of [Queue.t]: the pairing order — and with it the
+     prob/alias tables and every downstream sample stream — is exactly that
+     of the boxed queues, without a cons cell per push.  Capacity 2n covers
+     the worst case: n initial pushes plus one re-push per pairing step, of
+     which there are at most n − 1. *)
+  let small = Array.make (2 * n) 0 and large = Array.make (2 * n) 0 in
+  let sh = ref 0 and st = ref 0 and lh = ref 0 and lt = ref 0 in
+  for i = 0 to n - 1 do
+    if Array.unsafe_get scaled i < 1. then begin small.(!st) <- i; incr st end
+    else begin large.(!lt) <- i; incr lt end
+  done;
+  while !sh < !st && !lh < !lt do
+    let s = small.(!sh) and l = large.(!lh) in
+    incr sh;
+    incr lh;
     prob.(s) <- scaled.(s);
     alias.(s) <- l;
     scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
-    Queue.push l (if scaled.(l) < 1. then small else large)
+    if scaled.(l) < 1. then begin small.(!st) <- l; incr st end
+    else begin large.(!lt) <- l; incr lt end
   done;
   (* Remaining cells keep probability 1 (numerical leftovers). *)
   { prob; alias; weights = norm }
 
 let size t = Array.length t.prob
 let probability t i = t.weights.(i)
+let cell t i = (t.prob.(i), t.alias.(i))
 
 let sample t rng =
   let i = Lk_util.Rng.int_bound rng (size t) in
@@ -38,7 +52,7 @@ let sample t rng =
    stay/alias coin), so a batch of [k] and [k] single draws from equal rng
    states produce identical indices — only the per-draw closure and
    intermediate allocations go away. *)
-let sample_many_into t rng buf =
+let[@hot] sample_many_into t rng buf =
   let n = size t in
   let prob = t.prob and alias = t.alias in
   for j = 0 to Array.length buf - 1 do

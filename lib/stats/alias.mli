@@ -18,6 +18,11 @@ val size : t -> int
 (** [probability t i] is the exact sampling probability of index [i]. *)
 val probability : t -> int -> float
 
+(** [cell t i] is cell [i]'s (stay-probability, alias-index) pair — the
+    internal Vose table, exposed so differential tests can pin the flat
+    FIFO-queue construction to a reference build cell by cell. *)
+val cell : t -> int -> float * int
+
 (** [sample t rng] draws one index. *)
 val sample : t -> Lk_util.Rng.t -> int
 

@@ -3,7 +3,13 @@ type t = { sorted : int array }
 let of_samples xs =
   if Array.length xs = 0 then invalid_arg "Empirical.of_samples: empty sample";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Lk_util.Int_sort.sort sorted;
+  { sorted }
+
+let of_sorted sorted =
+  if Array.length sorted = 0 then invalid_arg "Empirical.of_sorted: empty sample";
+  (* Trusted constructor for the hot path: the caller owns a buffer it has
+     already sorted (e.g. with {!Lk_util.Int_sort}); no copy, no re-sort. *)
   { sorted }
 
 let size t = Array.length t.sorted
@@ -30,12 +36,19 @@ let cdf t x = float_of_int (upper_bound t.sorted x) /. float_of_int (size t)
 let cdf_strict t x = float_of_int (lower_bound t.sorted x) /. float_of_int (size t)
 let mass t x = cdf t x -. cdf_strict t x
 
-let quantile t q =
-  let n = size t in
+(* Shared rank logic of [quantile] and [quantile_sorted_range]: 1-based
+   rank ceil(q * n) after clamping q into (0, 1]. *)
+let rank_of ~n q =
   let q = Lk_util.Float_utils.clamp ~lo:(1. /. float_of_int n) ~hi:1. q in
-  (* Smallest x with cdf >= q: rank ceil(q * n), 1-based. *)
   let rank = int_of_float (ceil (q *. float_of_int n)) in
-  t.sorted.(max 0 (min (n - 1) (rank - 1)))
+  max 0 (min (n - 1) (rank - 1))
+
+let quantile t q = t.sorted.(rank_of ~n:(size t) q)
+
+let quantile_sorted_range a ~pos ~len q =
+  if len <= 0 || pos < 0 || pos + len > Array.length a then
+    invalid_arg "Empirical.quantile_sorted_range: bad range";
+  a.(pos + rank_of ~n:len q)
 
 let crossing t ~grid:(count, nth) q =
   (* Binary search over the monotone grid for the first point whose cdf
@@ -63,9 +76,15 @@ let distinct t =
   go 0 []
 
 let heavy_points t ~threshold =
-  let n = float_of_int (size t) in
-  List.filter_map
-    (fun (v, c) ->
-      let m = float_of_int c /. n in
-      if m >= threshold then Some (v, m) else None)
-    (distinct t)
+  let nf = float_of_int (size t) in
+  let n = size t in
+  (* Walk the distinct runs directly (ascending), consing only survivors. *)
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let v = t.sorted.(i) in
+      let j = upper_bound t.sorted v in
+      let m = float_of_int (j - i) /. nf in
+      go j (if m >= threshold then (v, m) :: acc else acc)
+  in
+  go 0 []

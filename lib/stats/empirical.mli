@@ -12,6 +12,12 @@ type t
     sorted); [xs] must be non-empty. *)
 val of_samples : int array -> t
 
+(** [of_sorted xs] wraps an already-ascending array without copying or
+    re-sorting — the zero-allocation constructor of the preparation hot
+    path.  The caller must not mutate [xs] afterwards, and [xs] must be
+    sorted (unchecked) and non-empty. *)
+val of_sorted : int array -> t
+
 (** Number of sample points. *)
 val size : t -> int
 
@@ -32,6 +38,13 @@ val mass : t -> int -> float
 (** [quantile t q] is the empirical [q]-quantile: the smallest sample value
     [x] with [cdf t x >= q].  [q] outside [(0, 1]] is clamped. *)
 val quantile : t -> float -> int
+
+(** [quantile_sorted_range a ~pos ~len q] is [quantile] over the sorted
+    slice [a.(pos) .. a.(pos+len-1)] without building an intermediate [t] —
+    the bootstrap chunks of {!Lk_repro.Rmedian} are sorted slices of one
+    scratch buffer.  Equal output to
+    [quantile (of_samples (Array.sub a pos len)) q]. *)
+val quantile_sorted_range : int array -> pos:int -> len:int -> float -> int
 
 (** [crossing t ~grid_of q] is the smallest value [x] in the image of
     [grid_of] (a monotone enumeration [k -> x_k] given as [(count, nth)])

@@ -1,0 +1,134 @@
+(* Monomorphic in-place sorting for int arrays.
+
+   [Array.sort compare] on an int array dispatches every comparison through
+   the polymorphic [caml_compare] runtime path — measured ~300 ns per
+   element on the EPS efficiency-code arrays, which made sorting the single
+   biggest line item of a cold query preparation.  This sorter keeps the
+   exact same contract (an in-place ascending sort; equal ints are
+   indistinguishable, so the output array is bit-identical to any correct
+   sort) with immediate integer compares and zero allocation. *)
+
+let swap (a : int array) i j =
+  let t = Array.unsafe_get a i in
+  Array.unsafe_set a i (Array.unsafe_get a j);
+  Array.unsafe_set a j t
+
+(* Insertion sort on [lo, hi] (inclusive) — the small-range workhorse. *)
+let insertion (a : int array) lo hi =
+  for i = lo + 1 to hi do
+    let v = Array.unsafe_get a i in
+    let j = ref (i - 1) in
+    while !j >= lo && Array.unsafe_get a !j > v do
+      Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
+      decr j
+    done;
+    Array.unsafe_set a (!j + 1) v
+  done
+
+let small_cutoff = 32
+
+(* Median-of-three pivot selection: sorts a.(lo) <= a.(mid) <= a.(hi) in
+   place and returns the median value. *)
+let median3 (a : int array) lo hi =
+  let mid = lo + ((hi - lo) / 2) in
+  if Array.unsafe_get a mid < Array.unsafe_get a lo then swap a mid lo;
+  if Array.unsafe_get a hi < Array.unsafe_get a mid then begin
+    swap a hi mid;
+    if Array.unsafe_get a mid < Array.unsafe_get a lo then swap a mid lo
+  end;
+  Array.unsafe_get a mid
+
+(* Quicksort with three-way (fat-pivot) partitioning: efficiency-code
+   samples carry long runs of equal values (heavy domain points), which a
+   two-way partition would degrade on.  Recursion always descends into the
+   smaller side and loops on the larger, bounding the stack at O(log n). *)
+let rec qsort (a : int array) lo hi =
+  if hi - lo < small_cutoff then (if hi > lo then insertion a lo hi)
+  else begin
+    let pivot = median3 a lo hi in
+    (* Bentley–McIlroy three-way partition of [lo, hi]. *)
+    let lt = ref lo and gt = ref hi and i = ref lo in
+    while !i <= !gt do
+      let v = Array.unsafe_get a !i in
+      if v < pivot then begin
+        swap a !lt !i;
+        incr lt;
+        incr i
+      end
+      else if v > pivot then begin
+        swap a !i !gt;
+        decr gt
+      end
+      else incr i
+    done;
+    (* Recurse on the smaller of the two strict sides. *)
+    if !lt - lo < hi - !gt then begin
+      qsort a lo (!lt - 1);
+      qsort a (!gt + 1) hi
+    end
+    else begin
+      qsort a (!gt + 1) hi;
+      qsort a lo (!lt - 1)
+    end
+  end
+
+(* LSD radix sort, 8 bits per pass, for large all-non-negative ranges: the
+   dominant sorting workload here is efficiency-code samples (non-negative
+   48-bit-ish ints), where counting passes beat comparison sorting by ~5×.
+   Returns [false] without touching [a] when a negative value makes the
+   byte-order trick invalid — the caller falls back to quicksort. *)
+let radix_threshold = 256
+
+let radix_range (a : int array) pos len =
+  let max_v = ref 0 and ok = ref true in
+  for i = pos to pos + len - 1 do
+    let v = Array.unsafe_get a i in
+    if v < 0 then ok := false;
+    if v > !max_v then max_v := v
+  done;
+  !ok
+  &&
+  let tmp = Array.make len 0 in
+  let count = Array.make 256 0 in
+  (* Ping-pong between a[pos..] and tmp[0..]; [in_a] tracks where the
+     current keys live. *)
+  let in_a = ref true in
+  let shift = ref 0 in
+  (* The [shift < 63] bound matters: [lsr] by >= Sys.int_size is
+     unspecified (x86 masks the count mod 64, making [x lsr 64 = x]), so
+     on 62-bit-wide keys the max-value test alone would never fail. *)
+  while !shift < 63 && !max_v lsr !shift > 0 do
+    Array.fill count 0 256 0;
+    let src = if !in_a then a else tmp and src_off = if !in_a then pos else 0 in
+    let dst = if !in_a then tmp else a and dst_off = if !in_a then 0 else pos in
+    for i = 0 to len - 1 do
+      let b = (Array.unsafe_get src (src_off + i) lsr !shift) land 255 in
+      Array.unsafe_set count b (Array.unsafe_get count b + 1)
+    done;
+    let acc = ref 0 in
+    for b = 0 to 255 do
+      let c = Array.unsafe_get count b in
+      Array.unsafe_set count b !acc;
+      acc := !acc + c
+    done;
+    for i = 0 to len - 1 do
+      let v = Array.unsafe_get src (src_off + i) in
+      let b = (v lsr !shift) land 255 in
+      let slot = Array.unsafe_get count b in
+      Array.unsafe_set dst (dst_off + slot) v;
+      Array.unsafe_set count b (slot + 1)
+    done;
+    in_a := not !in_a;
+    shift := !shift + 8
+  done;
+  if not !in_a then Array.blit tmp 0 a pos len;
+  true
+
+let sort_range a ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Int_sort.sort_range: range out of bounds";
+  if len > 1 then
+    if len < radix_threshold || not (radix_range a pos len) then
+      qsort a pos (pos + len - 1)
+
+let sort a = sort_range a ~pos:0 ~len:(Array.length a)

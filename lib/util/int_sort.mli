@@ -1,0 +1,14 @@
+(** In-place ascending sort for int arrays with monomorphic comparisons.
+
+    Produces the same array as [Array.sort compare] (equal ints are
+    indistinguishable, so every correct sort yields bit-identical output)
+    without the polymorphic-compare dispatch that dominated the EPS
+    construction's profile.  Zero allocation; not stable (irrelevant for
+    ints). *)
+
+val sort : int array -> unit
+
+(** [sort_range a ~pos ~len] sorts the slice [a.(pos) .. a.(pos+len-1)] in
+    place, leaving the rest of [a] untouched — the bootstrap-chunk path of
+    {!Lk_repro.Rmedian} sorts 64 slices of one scratch buffer with it. *)
+val sort_range : int array -> pos:int -> len:int -> unit

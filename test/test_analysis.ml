@@ -656,6 +656,57 @@ let test_effect_hot_alloc () =
         [ "bin/hotk.ml"; "bin/mank.ml" ]
         (List.map (fun f -> f.F.file) hits))
 
+let test_hot_manifest_covers_flat_kernels () =
+  (* The PR8 flat-kernel files must stay under the hot-allocation
+     discipline: deleting one from lint.hot would silently re-admit
+     closure-allocating idioms into the preparation path. *)
+  let manifest = read_all (Filename.concat (real_root ()) "lint.hot") in
+  List.iter
+    (fun path ->
+      Alcotest.(check bool) (path ^ " in lint.hot") true (contains manifest path))
+    [
+      "lib/knapsack/dp_scratch.ml";
+      "lib/knapsack/exact_dp.ml";
+      "lib/knapsack/fptas.ml";
+      "lib/util/int_sort.ml";
+      "lib/stats/alias.ml";
+      "lib/stats/empirical.ml";
+      "lib/reproducible/rmedian.ml";
+      "lib/core/prep_arena.ml";
+      "lib/core/tilde.ml";
+      "lib/core/eps.ml";
+      "lib/core/mapping_greedy.ml";
+    ]
+
+let test_effect_hot_alloc_seeded_kernel () =
+  (* Seed a banned closure idiom into a lib/ file named by the manifest —
+     the exact shape of a regression in one of the PR8 kernels — and
+     prove the rule fires on it even without a [@hot] tag. *)
+  with_fixture
+    (pure_lib
+    @ [ ( "lib/util/kern.ml",
+          "let total xs = List.fold_left (+) 0 xs\nlet use = total [1]\n" );
+        ("lib/util/kern.mli", "val total : int list -> int\nval use : int\n");
+        ("lint.hot", "# fixture manifest\nlib/util/kern.ml\n") ])
+    (fun root ->
+      let report = Engine.analyze ~root () in
+      let hits = findings_with_rule "effect-hot-alloc" report in
+      Alcotest.(check int) "seeded kernel violation fires" 1 (List.length hits);
+      let f = List.hd hits in
+      Alcotest.(check string) "in the manifest file" "lib/util/kern.ml" f.F.file;
+      Alcotest.(check bool) "names the idiom" true (contains f.F.message "List.fold_left");
+      (* fixing the file silences the rule *)
+      write_file
+        (Filename.concat root "lib/util/kern.ml")
+        "let total xs =\n\
+        \  let s = ref 0 in\n\
+        \  let rec go = function [] -> !s | x :: tl -> (s := !s + x; go tl) in\n\
+        \  go xs\n\
+         let use = total [1]\n";
+      let report = Engine.analyze ~root () in
+      Alcotest.(check int) "clean after the fix" 0
+        (List.length (findings_with_rule "effect-hot-alloc" report)))
+
 (* ------------------------------------------------------------------ *)
 (* differential: inferred effects vs the observed E1 profile *)
 
@@ -874,6 +925,10 @@ let () =
             test_effect_parallel_blessed;
           Alcotest.test_case "hot-path allocation" `Quick
             test_effect_hot_alloc;
+          Alcotest.test_case "manifest covers flat kernels" `Quick
+            test_hot_manifest_covers_flat_kernels;
+          Alcotest.test_case "seeded kernel violation" `Quick
+            test_effect_hot_alloc_seeded_kernel;
           Alcotest.test_case "obs profile differential" `Quick
             test_obs_effect_differential;
         ] );

@@ -139,7 +139,11 @@ let test_file_schema_rejected () =
 
 let file_of results = { sample_file with Benchkit.results }
 
-let r name ns = { Benchkit.name; ns_per_run = ns; r_square = None }
+(* Gated rows: a clean fit on both sides keeps the ratio gate armed. *)
+let r name ns = { Benchkit.name; ns_per_run = ns; r_square = Some 1.0 }
+
+(* Ungated rows: no fit at all (one-shot timings). *)
+let r_unfit name ns = { Benchkit.name; ns_per_run = ns; r_square = None }
 
 let test_compare_self_clean () =
   let c =
@@ -166,6 +170,47 @@ let test_compare_regression_threshold () =
   let faster = file_of [ r "a" 10.; r "b" 20. ] in
   let c = Benchkit.compare_files ~threshold:0.15 ~baseline ~candidate:faster in
   Alcotest.(check int) "improvements pass" 0 (List.length c.Benchkit.regressions)
+
+let test_compare_low_fit_downgrades () =
+  (* A +100% blowup on a row with a null or negative r² must not hard-fail
+     the gate: it lands in [warnings], with [gated = false]. *)
+  let check_downgraded label baseline candidate =
+    let c = Benchkit.compare_files ~threshold:0.15 ~baseline ~candidate in
+    Alcotest.(check int) (label ^ ": no regressions") 0 (List.length c.Benchkit.regressions);
+    match c.Benchkit.warnings with
+    | [ d ] ->
+        Alcotest.(check string) (label ^ ": warned bench") "slow" d.Benchkit.bench;
+        Alcotest.(check bool) (label ^ ": ungated") false d.Benchkit.gated
+    | l -> Alcotest.failf "%s: expected one warning, got %d" label (List.length l)
+  in
+  check_downgraded "null candidate"
+    (file_of [ r "slow" 100. ])
+    (file_of [ r_unfit "slow" 200. ]);
+  check_downgraded "null baseline"
+    (file_of [ r_unfit "slow" 100. ])
+    (file_of [ r "slow" 200. ]);
+  check_downgraded "negative fit"
+    (file_of [ r "slow" 100. ])
+    (file_of [ { Benchkit.name = "slow"; ns_per_run = 200.; r_square = Some (-0.3) } ]);
+  (* and an in-threshold low-fit row is neither a regression nor a warning *)
+  let c =
+    Benchkit.compare_files ~threshold:0.15
+      ~baseline:(file_of [ r_unfit "ok" 100. ])
+      ~candidate:(file_of [ r_unfit "ok" 104. ])
+  in
+  Alcotest.(check int) "quiet within threshold" 0 (List.length c.Benchkit.warnings);
+  Alcotest.(check int) "no regressions either" 0 (List.length c.Benchkit.regressions)
+
+let test_compare_exact_rows_stay_gated () =
+  (* loadgen's exact-metric rows (hit-rates, prepare counts) declare
+     r_square = Some 1.0 precisely so that any drift still hard-fails. *)
+  let baseline = file_of [ r "loadgen/pool-hit-rate-cold" 0.25 ] in
+  let candidate = file_of [ r "loadgen/pool-hit-rate-cold" 0.5 ] in
+  let c = Benchkit.compare_files ~threshold:0.15 ~baseline ~candidate in
+  (match c.Benchkit.regressions with
+  | [ d ] -> Alcotest.(check bool) "gated" true d.Benchkit.gated
+  | l -> Alcotest.failf "expected one regression, got %d" (List.length l));
+  Alcotest.(check int) "no warnings" 0 (List.length c.Benchkit.warnings)
 
 let test_compare_missing_added () =
   let baseline = file_of [ r "a" 100.; r "gone" 50. ] in
@@ -210,6 +255,8 @@ let () =
         [
           Alcotest.test_case "self is clean" `Quick test_compare_self_clean;
           Alcotest.test_case "regression threshold" `Quick test_compare_regression_threshold;
+          Alcotest.test_case "low fit downgrades" `Quick test_compare_low_fit_downgrades;
+          Alcotest.test_case "exact rows stay gated" `Quick test_compare_exact_rows_stay_gated;
           Alcotest.test_case "missing and added" `Quick test_compare_missing_added;
         ] );
       ( "stopwatch",

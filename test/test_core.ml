@@ -211,7 +211,8 @@ let test_convert_greedy_prefix_branch () =
   let d = Convert_greedy.run params (manual_tilde ~items ~eps_codes:[||] ~capacity:0.35) in
   Alcotest.(check bool) "prefix mode" false d.Convert_greedy.b_indicator;
   Alcotest.(check (list int)) "large prefix" [ 2; 7 ] (Solution.indices d.Convert_greedy.index_large);
-  Alcotest.(check bool) "no small cutoff" true (d.Convert_greedy.e_small_code = None)
+  Alcotest.(check int) "no small cutoff" Convert_greedy.no_small_cutoff
+    d.Convert_greedy.e_small_code
 
 let test_convert_greedy_singleton_branch () =
   let params = Params.practical 0.2 in
@@ -247,8 +248,8 @@ let test_convert_greedy_small_cutoff () =
   Alcotest.(check bool) "prefix mode" false d.Convert_greedy.b_indicator;
   Alcotest.(check int) "k cut" 3 d.Convert_greedy.k_cut;
   (match d.Convert_greedy.e_small_code with
-  | Some c -> Alcotest.(check int) "e_small = e_1" (refined params 2.0) c
-  | None -> Alcotest.fail "expected small cutoff");
+  | c when c >= 0 -> Alcotest.(check int) "e_small = e_1" (refined params 2.0) c
+  | _ -> Alcotest.fail "expected small cutoff");
   Alcotest.(check bool) "no large" true (Solution.cardinal d.Convert_greedy.index_large = 0)
 
 let test_convert_greedy_oversized_singleton_guard () =
@@ -277,7 +278,10 @@ let test_convert_greedy_empty_tilde () =
 let decision params ?(index_large = []) ?e_small ?(b = false) () =
   {
     Convert_greedy.index_large = Solution.of_indices index_large;
-    e_small_code = Option.map (refined params) e_small;
+    e_small_code =
+      (match e_small with
+      | Some e -> refined params e
+      | None -> Convert_greedy.no_small_cutoff);
     b_indicator = b;
     prefix_len = 0;
     k_cut = 0;

@@ -8,6 +8,7 @@ module Int_instance = Lk_knapsack.Int_instance
 module Branch_bound = Lk_knapsack.Branch_bound
 module Meet_middle = Lk_knapsack.Meet_middle
 module Fptas = Lk_knapsack.Fptas
+module Reference = Lk_knapsack.Reference
 module Verify = Lk_knapsack.Verify
 
 (* ---------- Item / Instance basics ---------- *)
@@ -349,6 +350,102 @@ let prop_profit_dp_agrees =
       && Solution.is_feasible fi sol
       && abs_float (Solution.profit fi sol -. float_of_int v) < 1e-9)
 
+(* ---------- PR8 flat-kernel differentials ----------
+
+   The Bigarray/bitset-plane kernels must be output-identical to the
+   straightforward implementations they replaced; Reference.*_naive are
+   verbatim ports of the pre-overhaul code kept as oracles. *)
+
+let same_solve (v1, s1) (v2, s2) = v1 = v2 && Solution.equal s1 s2
+
+let flat_matches_naive inst =
+  same_solve (Exact_dp.solve inst) (Reference.solve_naive inst)
+  && Exact_dp.value inst = Reference.value_naive inst
+  && Exact_dp.min_weight_per_profit inst = Reference.min_weight_per_profit_naive inst
+  && same_solve (Exact_dp.solve_by_profit inst) (Reference.solve_by_profit_naive inst)
+
+let fptas_matches_naive inst =
+  let fi = Int_instance.to_float inst in
+  List.for_all
+    (fun epsilon ->
+      let v1, s1 = Fptas.solve ~epsilon fi in
+      let v2, s2 = Reference.fptas_naive ~epsilon fi in
+      Float.equal v1 v2 && Solution.equal s1 s2)
+    [ 0.5; 0.25; 0.1 ]
+
+let prop_flat_dp_matches_naive =
+  QCheck.Test.make ~name:"flat DP kernels = naive references (bit-exact)" ~count:150
+    int_instance_arb flat_matches_naive
+
+let prop_flat_fptas_matches_naive =
+  QCheck.Test.make ~name:"flat fptas = naive reference (bit-exact)" ~count:100
+    int_instance_arb fptas_matches_naive
+
+let test_flat_kernel_edges () =
+  (* the degenerate shapes that stress workspace sizing: a single item,
+     zero capacity, and every item too heavy to take *)
+  let edges =
+    [
+      ("n=1", Int_instance.make ~profits:[| 7 |] ~weights:[| 3 |] ~capacity:5);
+      ("n=1 too heavy", Int_instance.make ~profits:[| 7 |] ~weights:[| 9 |] ~capacity:5);
+      ("capacity 0", Int_instance.make ~profits:[| 5; 7 |] ~weights:[| 1; 0 |] ~capacity:0);
+      ( "all too heavy",
+        Int_instance.make ~profits:[| 5; 7; 9 |] ~weights:[| 11; 12; 13 |] ~capacity:10 );
+      ( "zero profits",
+        Int_instance.make ~profits:[| 0; 0 |] ~weights:[| 1; 2 |] ~capacity:3 );
+    ]
+  in
+  List.iter
+    (fun (label, inst) ->
+      Alcotest.(check bool) (label ^ ": dp kernels match") true (flat_matches_naive inst);
+      Alcotest.(check bool) (label ^ ": fptas matches") true (fptas_matches_naive inst))
+    edges
+
+let test_flat_profit_dp_sparse_path () =
+  (* Big profit totals push solve_by_profit off the dense bitset plane and
+     onto the sparse append-only log (n * (total/8 + 1) > 2^20 bytes);
+     random small instances never get there, so force it once. *)
+  let rng = Rng.create 77L in
+  let n = 40 in
+  let inst =
+    Int_instance.make
+      ~profits:(Array.init n (fun _ -> Rng.int_range rng 5000 6000))
+      ~weights:(Array.init n (fun _ -> Rng.int_range rng 1 100))
+      ~capacity:700
+  in
+  Alcotest.(check bool) "sparse log path matches naive" true
+    (same_solve (Exact_dp.solve_by_profit inst) (Reference.solve_by_profit_naive inst))
+
+(* The plane is the bitset the DP take-stores moved onto; it must agree
+   with the per-row Bytes encoding bit for bit. *)
+let prop_plane_matches_bytes_rows =
+  QCheck.Test.make ~name:"bitset plane = per-row Bytes rows" ~count:200
+    QCheck.(
+      pair
+        (pair (int_range 1 12) (int_range 1 80))
+        (small_list (pair (int_bound 100) (int_bound 100))))
+    (fun ((rows, cols), sets) ->
+      let ws = Lk_knapsack.Dp_scratch.create () in
+      let plane = Lk_knapsack.Dp_scratch.plane ws ~rows ~cols in
+      let width = Lk_knapsack.Dp_scratch.plane_words ~cols in
+      let bytes_rows =
+        Array.init rows (fun _ -> Bytes.make ((cols / 8) + 1) '\000')
+      in
+      List.iter
+        (fun (r, c) ->
+          let r = r mod rows and c = c mod cols in
+          Lk_knapsack.Dp_scratch.plane_set plane ~width r c;
+          Lk_knapsack.Dp_scratch.set_bit bytes_rows.(r) c)
+        sets;
+      let ok = ref true in
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          let p = Lk_knapsack.Dp_scratch.plane_bit plane ~width r c = 1 in
+          if p <> Lk_knapsack.Dp_scratch.get_bit bytes_rows.(r) c then ok := false
+        done
+      done;
+      !ok)
+
 let prop_fptas_guarantee =
   QCheck.Test.make ~name:"fptas: feasible, within [(1-eps)OPT, OPT]" ~count:100
     int_instance_arb (fun inst ->
@@ -515,5 +612,10 @@ let () =
           QCheck_alcotest.to_alcotest prop_workspace_fptas_identical;
           QCheck_alcotest.to_alcotest prop_profit_dp_sparse_agrees;
           QCheck_alcotest.to_alcotest prop_min_weight_running_best;
+          QCheck_alcotest.to_alcotest prop_flat_dp_matches_naive;
+          QCheck_alcotest.to_alcotest prop_flat_fptas_matches_naive;
+          QCheck_alcotest.to_alcotest prop_plane_matches_bytes_rows;
+          Alcotest.test_case "flat kernel edges" `Quick test_flat_kernel_edges;
+          Alcotest.test_case "profit-dp sparse path" `Quick test_flat_profit_dp_sparse_path;
         ] );
     ]

@@ -194,6 +194,61 @@ let prop_alias_batch_matches_loop =
       batch = loop
       && Rng.snapshot_equal (Rng.snapshot rng_batch) (Rng.snapshot rng_loop))
 
+(* PR8: the flat FIFO-queue Vose build replaced a Stdlib.Queue pairing.
+   This reference re-implements the boxed-queue construction verbatim; the
+   flat build must reproduce its prob/alias tables cell by cell (and with
+   them every downstream sample stream). *)
+let reference_alias_tables ws =
+  let n = Array.length ws in
+  let total = Lk_util.Float_utils.sum ws in
+  let norm = Array.map (fun w -> w /. total) ws in
+  let scaled = Array.map (fun p -> p *. float_of_int n) norm in
+  let prob = Array.make n 1. and alias = Array.init n (fun i -> i) in
+  let small = Queue.create () and large = Queue.create () in
+  for i = 0 to n - 1 do
+    if scaled.(i) < 1. then Queue.push i small else Queue.push i large
+  done;
+  while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+    let s = Queue.pop small and l = Queue.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+    if scaled.(l) < 1. then Queue.push l small else Queue.push l large
+  done;
+  (prob, alias)
+
+let prop_alias_flat_build_matches_queue_reference =
+  QCheck.Test.make ~name:"flat FIFO build = Queue.t reference build (bit-exact)" ~count:200
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 40) (int_bound 20))
+        (int_bound 1000))
+    (fun (wi, seed) ->
+      QCheck.assume (Array.exists (fun w -> w > 0) wi);
+      (* quarter-integer weights: plenty of exact ties and exact 1.0 cells,
+         the order-sensitive cases of the pairing loop *)
+      let ws = Array.map (fun w -> float_of_int w /. 4.) wi in
+      let a = Alias.create ws in
+      let prob, alias = reference_alias_tables ws in
+      let cells_match = ref true in
+      for i = 0 to Alias.size a - 1 do
+        let p, al = Alias.cell a i in
+        if not (Float.equal p prob.(i) && al = alias.(i)) then cells_match := false
+      done;
+      (* and the stream a consumer sees is the reference stream *)
+      let rng_a = Rng.create (Int64.of_int seed) in
+      let rng_r = Rng.create (Int64.of_int seed) in
+      let n = Array.length ws in
+      let reference_sample () =
+        let i = Rng.int_bound rng_r n in
+        if Rng.float rng_r < prob.(i) then i else alias.(i)
+      in
+      let stream_match = ref true in
+      for _ = 1 to 64 do
+        if Alias.sample a rng_a <> reference_sample () then stream_match := false
+      done;
+      !cells_match && !stream_match)
+
 let prop_alias_prob_sums_to_one =
   QCheck.Test.make ~name:"alias probabilities sum to 1" ~count:100
     QCheck.(array_of_size Gen.(int_range 1 30) (float_range 0. 10.))
@@ -251,5 +306,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_quantile_sound;
           QCheck_alcotest.to_alcotest prop_alias_prob_sums_to_one;
           QCheck_alcotest.to_alcotest prop_alias_batch_matches_loop;
+          QCheck_alcotest.to_alcotest prop_alias_flat_build_matches_queue_reference;
         ] );
     ]

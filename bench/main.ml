@@ -198,6 +198,42 @@ let extension_benches =
           fun () -> Lk_repro.Heavy_hitters.run hh_params ~shared:(Rng.create 3L) sample));
   ]
 
+let counting_benches =
+  (* PR9 counting pillar: the two approximate counters and the exact
+     engines on frozen programs (of_weights / count_in — bench/ is outside
+     the counting-discipline fence), one persistent scratch per size so
+     the numbers price the kernels, not allocation. *)
+  let robp_of n =
+    let rng = Rng.create 94L in
+    let w = Array.init n (fun _ -> Rng.int_range rng 1 64) in
+    Lk_counting.Robp.of_weights w ~capacity:(Array.fold_left ( + ) 0 w / 3)
+  in
+  let robp_36 = robp_of 36 in
+  let robp_200 = robp_of 200 in
+  let robp_1000 = robp_of 1000 in
+  let scratch = Lk_counting.Count_scratch.create () in
+  let sampler = Lk_counting.Sampler.of_robp robp_36 in
+  let fresh_draw = Rng.create 1254L in
+  [
+    Test.make ~name:"gkm count n=200 eps=0.25"
+      (stage (fun () -> Lk_counting.Gkm.count_in ~eps:0.25 scratch robp_200));
+    Test.make ~name:"gkm count n=1000 eps=0.25"
+      (stage (fun () -> Lk_counting.Gkm.count_in ~eps:0.25 scratch robp_1000));
+    Test.make ~name:"gkm count n=1000 width=64"
+      (stage (fun () ->
+           Lk_counting.Gkm.count_in ~width:64 ~eps:0.25 scratch robp_1000));
+    Test.make ~name:"svv count n=64 eps=0.5"
+      (stage
+         (let robp_64 = robp_of 64 in
+          fun () -> Lk_counting.Svv.count_in ~eps:0.5 scratch robp_64));
+    Test.make ~name:"exact dp count n=200"
+      (stage (fun () -> Lk_counting.Exact.count_robp robp_200));
+    Test.make ~name:"meet-middle count n=36"
+      (stage (fun () -> Lk_counting.Exact.meet_middle robp_36));
+    Test.make ~name:"sampler draw n=36"
+      (stage (fun () -> Lk_counting.Sampler.draw sampler fresh_draw));
+  ]
+
 let substrate_benches =
   let fresh_alias = Rng.create 1241L
   and fresh_orgame = Rng.create 1242L
@@ -218,23 +254,25 @@ let substrate_benches =
            Lk_lcakp.Iky_value.approximate_opt params_fast access_10k ~seed:2L ~fresh:fresh_iky));
   ]
 
-let grouped =
-  Test.make_grouped ~name:"lca-knapsack"
-    [
-      Test.make_grouped ~name:"E10-lca-query" lca_query_benches;
-      Test.make_grouped ~name:"E10-baselines" baseline_benches;
-      Test.make_grouped ~name:"E7-reproducible" repro_benches;
-      Test.make_grouped ~name:"ablation-tie-bits" tie_ablation_benches;
-      Test.make_grouped ~name:"exact-solvers" solver_benches;
-      Test.make_grouped ~name:"P2-kernels" kernel_benches;
-      Test.make_grouped ~name:"P3-prepare" prepare_benches;
-      Test.make_grouped ~name:"E11-extensions" extension_benches;
-      Test.make_grouped ~name:"substrates" substrate_benches;
-    ]
+let groups =
+  [
+    ("E10-lca-query", lca_query_benches);
+    ("E10-baselines", baseline_benches);
+    ("E7-reproducible", repro_benches);
+    ("ablation-tie-bits", tie_ablation_benches);
+    ("exact-solvers", solver_benches);
+    ("P2-kernels", kernel_benches);
+    ("P3-prepare", prepare_benches);
+    ("P4-counting", counting_benches);
+    ("E11-extensions", extension_benches);
+    ("substrates", substrate_benches);
+  ]
 
 (* ---- driver ---- *)
 
-let usage = "main [--quota SECONDS] [--limit N] [--label STR] [--out FILE] [--smoke]"
+let usage =
+  "main [--quota SECONDS] [--limit N] [--label STR] [--out FILE] [--smoke] \
+   [--only PREFIX]"
 
 let () =
   let quota = ref Benchkit.default_quota_s in
@@ -242,6 +280,7 @@ let () =
   let label = ref "E10: wall-clock" in
   let out = ref "" in
   let smoke = ref false in
+  let only = ref "" in
   Arg.parse
     [
       ("--quota", Arg.Set_float quota, "SECONDS  per-bench time quota (default 0.8)");
@@ -251,6 +290,9 @@ let () =
       ( "--smoke",
         Arg.Set smoke,
         "  tiny quota/limit: exercises the whole pipeline, numbers are noise" );
+      ( "--only",
+        Arg.Set_string only,
+        "PREFIX  run only the bench groups whose name starts with PREFIX" );
     ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
     usage;
@@ -259,6 +301,20 @@ let () =
     limit := 8;
     label := !label ^ " (smoke)"
   end;
+  let selected =
+    match !only with
+    | "" -> groups
+    | p -> List.filter (fun (name, _) -> String.starts_with ~prefix:p name) groups
+  in
+  if selected = [] then begin
+    Printf.eprintf "--only %S matches no bench group (known: %s)\n" !only
+      (String.concat ", " (List.map fst groups));
+    exit 2
+  end;
+  let grouped =
+    Test.make_grouped ~name:"lca-knapsack"
+      (List.map (fun (name, benches) -> Test.make_grouped ~name benches) selected)
+  in
   let file = Benchkit.measure ~limit:!limit ~quota_s:!quota ~label:!label grouped in
   print_string (Benchkit.render_table file);
   if !out <> "" then Benchkit.save !out file;

@@ -27,6 +27,13 @@ module Engine = Lk_parallel.Engine
 module Obs = Lk_obs.Obs
 module Metrics = Lk_obs.Metrics
 module TraceDoc = Lk_obs.Trace
+module Counters = Lk_oracle.Counters
+module Query_oracle = Lk_oracle.Query_oracle
+module Count_exact = Lk_counting.Exact
+module Count_gkm = Lk_counting.Gkm
+module Count_svv = Lk_counting.Svv
+module Count_report = Lk_counting.Report
+module Json = Lk_benchkit.Json
 
 (* ------------------------------------------------------------ trial fan-out
 
@@ -687,15 +694,268 @@ let e12 ~quick ~jobs:_ ~sink () =
      'needle in a haystack' of §4's opening) and the solution value collapses accordingly —\n\
      this is why the positive result needs precisely the [IKY12] sampling model.\n"
 
+(* ------------------------------------------------------------------ E13 *)
+
+(* Machine-readable results of the counting experiments, written by
+   --count-out.  Module-level on purpose: run_selected saves it after
+   whatever subset of experiments ran; rows append in execution order, so
+   the artifact inherits the tables' bitwise jobs-invariance. *)
+let count_report = Count_report.create ()
+
+(* Integer-weight instance families, inline rather than in lib/workloads:
+   the counters need the weights exactly as drawn (Robp.build rejects
+   anything non-integral) and Gen normalizes.  The capacity draw spans the
+   whole subset-sum range, so trials hit both the nearly-empty and the
+   everything-fits regimes. *)
+let count_families =
+  [
+    ( "uniform",
+      fun rng n ->
+        let w = Array.init n (fun _ -> Rng.int_range rng 1 64) in
+        (w, Rng.int_range rng 0 (Array.fold_left ( + ) 0 w)) );
+    ( "duplicates",
+      fun rng n ->
+        let palette = Array.init 3 (fun _ -> Rng.int_range rng 1 20) in
+        let w = Array.init n (fun _ -> Rng.choose rng palette) in
+        (w, Rng.int_range rng 0 (Array.fold_left ( + ) 0 w)) );
+    ( "boundary",
+      fun rng n ->
+        (* Near-equal weights put the capacity inside the bulk of the
+           subset-sum distribution — the adversarial case for rounding,
+           with many subsets within one rounding step of the cut. *)
+        let base = 50 in
+        let w = Array.init n (fun _ -> base + Rng.int_range rng (-2) 2) in
+        (w, (n / 2 * base) + Rng.int_range rng (-base) base) );
+  ]
+
+(* Each counter call gets a fresh oracle (fresh counters) over the same
+   weights, so its bill is exactly its own n build queries — the
+   accounting E14 reads off. *)
+let count_oracle ~sink weights capacity =
+  let items =
+    Array.map (fun w -> Item.make ~profit:1. ~weight:(float_of_int w)) weights
+  in
+  let inst = Instance.make items ~capacity:(float_of_int capacity) in
+  Query_oracle.of_instance ~sink ~counters:(Counters.create ()) inst
+
+let e13 ~quick ~jobs ~sink () =
+  let n = if quick then 12 else 18 in
+  let trials = if quick then 4 else 24 in
+  let eps_grid = if quick then [ 0.25 ] else [ 0.1; 0.2; 0.3 ] in
+  let t =
+    Tbl.create
+      ~title:
+        "E13 (count accuracy): GKM and SVV approximate counters vs exact, with certified brackets"
+      [ "family"; "eps"; "n"; "trials"; "gkm mean"; "gkm worst"; "gkm ok";
+        "svv mean"; "svv worst"; "svv ok"; "bracket"; "max w" ]
+  in
+  let fresh = Rng.create 1313L in
+  List.iter
+    (fun (family, gen) ->
+      List.iter
+        (fun eps ->
+          let rows =
+            fanout_array ~jobs ~sink ~trials fresh (fun ~sink _i rng ->
+                let weights, capacity = gen rng n in
+                let z =
+                  Count_exact.count ~sink (count_oracle ~sink weights capacity)
+                in
+                let g =
+                  Count_gkm.count ~sink ~eps
+                    (count_oracle ~sink weights capacity)
+                in
+                let s =
+                  Count_svv.count ~sink ~eps
+                    (count_oracle ~sink weights capacity)
+                in
+                let bracket_ok =
+                  g.Count_gkm.lower <= z
+                  && z <= g.Count_gkm.upper
+                  && s.Count_svv.lower <= z +. 1e-9
+                  && z <= s.Count_svv.upper
+                in
+                ( g.Count_gkm.estimate /. z,
+                  s.Count_svv.estimate /. z,
+                  bracket_ok,
+                  g.Count_gkm.width ))
+          in
+          let gr = Array.map (fun (g, _, _, _) -> g) rows in
+          let sr = Array.map (fun (_, s, _, _) -> s) rows in
+          let worst =
+            Array.fold_left
+              (fun acc r -> Float.max acc (Float.abs (r -. 1.)))
+              0.
+          in
+          let within a =
+            Array.for_all (fun r -> Float.abs (r -. 1.) <= eps) a
+          in
+          let brackets = Array.for_all (fun (_, _, b, _) -> b) rows in
+          let maxw =
+            Array.fold_left (fun acc (_, _, _, w) -> max acc w) 0 rows
+          in
+          Tbl.add_row t
+            [
+              family;
+              Tbl.cell_float ~decimals:2 eps;
+              Tbl.cell_int n;
+              Tbl.cell_int trials;
+              Tbl.cell_float ~decimals:4 (Fu.mean gr);
+              Tbl.cell_float ~decimals:4 (worst gr);
+              Tbl.cell_bool (within gr);
+              Tbl.cell_float ~decimals:4 (Fu.mean sr);
+              Tbl.cell_float ~decimals:4 (worst sr);
+              Tbl.cell_bool (within sr);
+              Tbl.cell_bool brackets;
+              Tbl.cell_int maxw;
+            ];
+          Count_report.add count_report
+            (Count_report.row ~experiment:"e13"
+               ~label:(Printf.sprintf "%s/eps=%g" family eps)
+               ~fields:
+                 [
+                   ("n", Json.Num (float_of_int n));
+                   ("trials", Json.Num (float_of_int trials));
+                   ("gkm_mean_ratio", Json.Num (Fu.mean gr));
+                   ("gkm_worst_dev", Json.Num (worst gr));
+                   ("gkm_within_eps", Json.Bool (within gr));
+                   ("svv_mean_ratio", Json.Num (Fu.mean sr));
+                   ("svv_worst_dev", Json.Num (worst sr));
+                   ("svv_within_eps", Json.Bool (within sr));
+                   ("brackets_certified", Json.Bool brackets);
+                   ("gkm_width_max", Json.Num (float_of_int maxw));
+                 ]))
+        eps_grid)
+    count_families;
+  Tbl.print t;
+  print_endline
+    "Claim check: both approximate counters land within (1 +- eps) of the exact count on\n\
+     every trial, and the certified brackets [lower, upper] always contain it — GKM by\n\
+     the under-approximation invariant (DESIGN.md par.15), SVV by the Q^(j* -+ (n+1))\n\
+     read-off.  Each counter's oracle bill is exactly n read-once build queries.\n"
+
+(* ------------------------------------------------------------------ E14 *)
+
+let e14 ~quick ~jobs:_ ~sink () =
+  (* Counts are carried as floats, so n is capped where log2 Z < 1024
+     keeps every engine finite (DESIGN.md par.15); serial on purpose — the
+     point is per-method oracle accounting on one shared instance, not
+     trial fan-out. *)
+  let sizes = if quick then [ 64; 256 ] else [ 64; 256; 1024 ] in
+  let t =
+    Tbl.create
+      ~title:
+        "E14 (query complexity): oracle bills of counting vs optimizing, one instance per n"
+      [ "n"; "method"; "eps"; "index q"; "samples"; "log2 est"; "note" ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Rng.of_path 1414L [ "e14"; string_of_int n ] in
+      let weights = Array.init n (fun _ -> Rng.int_range rng 1 64) in
+      let capacity = Array.fold_left ( + ) 0 weights / 3 in
+      let items =
+        Array.map
+          (fun w -> Item.make ~profit:1. ~weight:(float_of_int w))
+          weights
+      in
+      let inst = Instance.make items ~capacity:(float_of_int capacity) in
+      let add_row method_ eps est (iq, ws) note =
+        Tbl.add_row t
+          [
+            Tbl.cell_int n;
+            method_;
+            eps;
+            Tbl.cell_int iq;
+            Tbl.cell_int ws;
+            (match est with
+            | None -> "-"
+            | Some e -> Tbl.cell_float ~decimals:1 (Fu.log2 e));
+            note;
+          ];
+        Count_report.add count_report
+          (Count_report.row ~experiment:"e14"
+             ~label:(Printf.sprintf "n=%d/%s" n method_)
+             ~fields:
+               [
+                 ("n", Json.Num (float_of_int n));
+                 ("index_queries", Json.Num (float_of_int iq));
+                 ("weighted_samples", Json.Num (float_of_int ws));
+                 ( "log2_estimate",
+                   match est with
+                   | None -> Json.Null
+                   | Some e -> Json.Num (Fu.log2 e) );
+               ])
+      in
+      (* Fresh counters per method: the bill in each row is that method's
+         alone. *)
+      let billed f =
+        let counters = Counters.create () in
+        let oracle = Query_oracle.of_instance ~sink ~counters inst in
+        let r = f oracle in
+        (r, (Counters.index_queries counters, Counters.weighted_samples counters))
+      in
+      let z, bill = billed (fun o -> Count_exact.count ~sink o) in
+      add_row "exact-dp" "-" (Some z) bill "sparse DP, exact";
+      let g, bill = billed (fun o -> Count_gkm.count ~sink ~eps:0.25 o) in
+      add_row "gkm" "0.25" (Some g.Count_gkm.estimate) bill
+        (Printf.sprintf "width %d (uncapped)" g.Count_gkm.width);
+      let gc, bill =
+        billed (fun o -> Count_gkm.count ~sink ~width:64 ~eps:0.25 o)
+      in
+      add_row "gkm-w64" "0.25" (Some gc.Count_gkm.estimate) bill
+        (Printf.sprintf "width<=64, log2 bracket %s"
+           (Tbl.cell_float ~decimals:1
+              (Fu.log2 (gc.Count_gkm.upper /. gc.Count_gkm.lower))));
+      (* SVV's grid has s ~ 3 n^2 ln 2 / eps levels — quadratic in n, so
+         the deterministic counter is priced out of the larger sizes; that
+         trade-off is the row's point, so it only appears at n = 64. *)
+      if n <= 64 then begin
+        let s, bill = billed (fun o -> Count_svv.count ~sink ~eps:0.5 o) in
+        add_row "svv" "0.50" (Some s.Count_svv.estimate) bill
+          (Printf.sprintf "%d grid levels" s.Count_svv.levels)
+      end;
+      (* The optimizing LCA on the same instance: per-query sample bill vs
+         the counters' flat n index queries. *)
+      let access = Access.of_instance ~sink inst in
+      let params = Params.practical ~sample_scale:0.02 0.25 in
+      let algo = Lca_kp.create params access ~seed:7L in
+      let state =
+        Lca_kp.run algo ~fresh:(Rng.of_path 1414L [ "e14-lca"; string_of_int n ])
+      in
+      let c = Access.counters access in
+      add_row "lca-opt" "0.25" None
+        (Counters.index_queries c, Counters.weighted_samples c)
+        (Printf.sprintf "optimize; %d samples/query"
+           (Lca_kp.samples_per_query algo state));
+      (* Theorem 3.2's read-once wall, counting edition: one query short of
+         n and the exact counter cannot finish. *)
+      let counters = Counters.create () in
+      let oracle = Query_oracle.of_instance ~sink ~counters inst in
+      let starved = Query_oracle.with_budget oracle (n - 1) in
+      (match Count_exact.count ~sink starved with
+      | _ -> add_row "exact@n-1" "-" None (0, 0) "unexpectedly finished"
+      | exception Query_oracle.Budget_exhausted ->
+          add_row "exact@n-1" "-" None
+            ( Counters.index_queries counters,
+              Counters.weighted_samples counters )
+            "Budget_exhausted: the counter is read-once"))
+    sizes;
+  Tbl.print t;
+  print_endline
+    "Claim check: every counting engine bills exactly n index queries and zero weighted\n\
+     samples — the ROBP build is the whole oracle footprint, and one budget unit less\n\
+     aborts it.  The optimizing LCA pays per query in weighted samples instead; counting\n\
+     and optimizing sit on opposite sides of the query-accounting ledger.\n"
+
 (* ------------------------------------------------------------- driver *)
 
 let all_experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e11", e11); ("e12", e12);
+    ("e13", e13); ("e14", e14);
   ]
 
-let run_selected names quick jobs time trace metrics profile =
+let run_selected names quick jobs time trace metrics profile count_out =
   Lk_util.Log_setup.init ();
   (match jobs with
   | Some j when j < 1 ->
@@ -729,6 +989,12 @@ let run_selected names quick jobs time trace metrics profile =
             (String.concat ", " (List.map fst all_experiments));
           exit 2)
     names;
+  (* The counting artifact is written even when empty (no e13/e14 in the
+     selection): the file's presence then still certifies "this invocation
+     produced no counting rows", and @count-smoke can cmp unconditionally. *)
+  (match count_out with
+  | Some path -> Count_report.save path count_report
+  | None -> ());
   (* The meta block is everything trace_tool needs to re-run this exact
      invocation (replay goes through the CLI, so --quick/--jobs are the
      whole run identity alongside the baked-in seeds). *)
@@ -745,7 +1011,7 @@ let run_selected names quick jobs time trace metrics profile =
 open Cmdliner
 
 let names_arg =
-  let doc = "Experiments to run (e1..e9, e11, e12, or 'all')." in
+  let doc = "Experiments to run (e1..e9, e11..e14, or 'all')." in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
 
 let quick_arg =
@@ -774,14 +1040,23 @@ let trace_arg = Obs_cli.trace_arg
 let metrics_arg = Obs_cli.metrics_arg
 let profile_arg = Obs_cli.profile_arg
 
+let count_out_arg =
+  let doc =
+    "Write the counting experiments' (e13/e14) machine-readable results to \
+     $(docv) (schema lca-knapsack-count/1) through Lk_benchkit.Json's \
+     byte-stable printer; the @count-smoke alias cmps the file across --jobs \
+     values."
+  in
+  Arg.(value & opt (some string) None & info [ "count-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "Regenerate the LCA-for-Knapsack reproduction experiments (EXPERIMENTS.md)" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
     Term.(
-      const (fun names quick jobs time trace metrics profile ->
-          run_selected names quick jobs time trace metrics profile)
+      const (fun names quick jobs time trace metrics profile count_out ->
+          run_selected names quick jobs time trace metrics profile count_out)
       $ names_arg $ quick_arg $ jobs_arg $ time_arg $ trace_arg $ metrics_arg
-      $ profile_arg)
+      $ profile_arg $ count_out_arg)
 
 let () = exit (Cmd.eval cmd)

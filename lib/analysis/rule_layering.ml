@@ -19,7 +19,11 @@ let id = "layering"
    recorded stream.  lk_serve (the query-serving tier) sits above the
    LCA layer — it pools prepared lk_lcakp run states and fans answers
    out through lk_parallel — but, like the LCA layers, must not see
-   lk_workloads: servers serve whatever instances they are handed. *)
+   lk_workloads: servers serve whatever instances they are handed.
+   lk_counting (the #Knapsack pillar) sits beside lk_parallel at the
+   oracle layer: its ROBP is built through lk_oracle point queries, but
+   the counters themselves are straight-line kernels that never fan out,
+   never see the LCA, and never see a workload generator. *)
 let foundation = [ "lk_util"; "lk_stats"; "lk_knapsack" ]
 let obs_side = foundation @ [ "lk_benchkit"; "lk_obs" ]
 let oracle_side = obs_side @ [ "lk_oracle" ]
@@ -40,6 +44,7 @@ let allowed : (string * string list) list =
     ("lk_oracle", obs_side);
     ("lk_workloads", foundation);
     ("lk_parallel", oracle_side);
+    ("lk_counting", oracle_side);
     ("lk_repro", parallel_side);
     ("lk_lca", lca_side);
     ("lk_lcakp", lca_side);

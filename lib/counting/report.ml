@@ -1,0 +1,18 @@
+module Json = Lk_benchkit.Json
+
+let schema = "lca-knapsack-count/1"
+
+type t = { mutable rev_rows : Json.t list }
+
+let create () = { rev_rows = [] }
+
+let row ~experiment ~label ~fields =
+  Json.Obj (("experiment", Json.Str experiment) :: ("label", Json.Str label) :: fields)
+
+let add t json = t.rev_rows <- json :: t.rev_rows
+let rows t = List.rev t.rev_rows
+
+let to_json t =
+  Json.Obj [ ("schema", Json.Str schema); ("rows", Json.Arr (rows t)) ]
+
+let save path t = Json.write_file path (to_json t)

@@ -1,0 +1,32 @@
+(** Deterministic JSON collector for the counting experiments' artifact
+    ([--count-out]).
+
+    Rows are appended in execution order and printed through
+    {!Lk_benchkit.Json}'s byte-stable printer, so two runs of the same
+    experiment configuration produce byte-identical files — the
+    [@count-smoke] CI alias [cmp]s the artifact across [--jobs] values. *)
+
+val schema : string
+
+type t
+
+val create : unit -> t
+
+(** [row ~experiment ~label ~fields] — one result row; field order is
+    preserved verbatim. *)
+val row :
+  experiment:string ->
+  label:string ->
+  fields:(string * Lk_benchkit.Json.t) list ->
+  Lk_benchkit.Json.t
+
+(** [add t json] appends a row. *)
+val add : t -> Lk_benchkit.Json.t -> unit
+
+(** Rows appended so far (oldest first). *)
+val rows : t -> Lk_benchkit.Json.t list
+
+(** The full artifact: [{ schema; rows }]. *)
+val to_json : t -> Lk_benchkit.Json.t
+
+val save : string -> t -> unit

@@ -1,0 +1,60 @@
+module Query_oracle = Lk_oracle.Query_oracle
+module Obs = Lk_obs.Obs
+
+type t = { weights : int array; capacity : int }
+
+let max_weight = 1 lsl 40
+let max_capacity = 1 lsl 50
+
+let int_weight ~who i (w : float) =
+  if not (Float.is_finite w) || w < 0. then
+    invalid_arg (Printf.sprintf "%s: item %d weight %g not a finite >= 0" who i w);
+  let r = Float.round w in
+  if Float.abs (w -. r) > 1e-6 *. Float.max 1. w then
+    invalid_arg (Printf.sprintf "%s: item %d weight %g is not integral" who i w);
+  let wi = int_of_float r in
+  if wi > max_weight then
+    invalid_arg (Printf.sprintf "%s: item %d weight %g exceeds 2^40" who i w);
+  wi
+
+let int_capacity ~who (c : float) =
+  if not (Float.is_finite c) || c < 0. then
+    invalid_arg (Printf.sprintf "%s: capacity %g not a finite >= 0" who c)
+  else if c > float_of_int max_capacity then
+    invalid_arg (Printf.sprintf "%s: capacity %g exceeds 2^50" who c)
+  else int_of_float (Float.floor c)
+
+let check_int_weight ~who i wi =
+  if wi < 0 || wi > max_weight then
+    invalid_arg (Printf.sprintf "%s: item %d weight %d out of [0, 2^40]" who i wi)
+
+let build ?(sink = Obs.null) oracle =
+  Obs.phase sink "robp-build" (fun () ->
+      let n = Query_oracle.size oracle in
+      let weights =
+        Array.init n (fun i ->
+            int_weight ~who:"Robp.build" i (Query_oracle.item oracle i).weight)
+      in
+      let capacity = int_capacity ~who:"Robp.build" (Query_oracle.capacity oracle) in
+      { weights; capacity })
+
+let of_weights weights ~capacity =
+  if Array.length weights = 0 then invalid_arg "Robp.of_weights: empty";
+  Array.iteri (check_int_weight ~who:"Robp.of_weights") weights;
+  if capacity < 0 || capacity > max_capacity then
+    invalid_arg "Robp.of_weights: capacity out of [0, 2^50]";
+  { weights = Array.copy weights; capacity }
+
+let size t = Array.length t.weights
+let capacity t = t.capacity
+let weight t i = t.weights.(i)
+let total_weight t = Array.fold_left ( + ) 0 t.weights
+
+let width_bound t =
+  let n = size t in
+  let pow = if n >= 62 then max_int else 1 lsl n in
+  min pow (t.capacity + 1)
+
+let solutions_bound t =
+  let n = size t in
+  if n >= 1024 then infinity else Float.ldexp 1. n

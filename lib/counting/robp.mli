@@ -1,0 +1,56 @@
+(** Read-once branching program (ROBP) view of a Knapsack instance.
+
+    The #Knapsack counters (GKM, arXiv:1008.3187; SVV, arXiv:1008.1687)
+    both work on the same layered DAG: layer [i] holds one state per
+    reachable prefix weight, and item [i]'s two outgoing edges ("skip" keeps
+    the weight, "take" adds [w_i] when it still fits) lead to layer [i+1].
+    Accepting paths through the program are exactly the feasible subsets,
+    so counting solutions is counting accepting paths.
+
+    This module is the {e only} place the program is materialized from the
+    access model: {!build} reveals each item exactly once through
+    {!Lk_oracle.Query_oracle} — read-once, [n] counted index queries, one
+    trace event per probe — and freezes the integer weights and capacity.
+    Everything downstream ({!Gkm}, {!Svv}, {!Exact}, {!State_dp},
+    {!Sampler}) consumes the frozen program and performs no further oracle
+    traffic.  The [counting-discipline] lint rule confines this module (and
+    the raw DP internals) to [lib/counting].
+
+    Counting needs exact integer weights, so the normalized
+    {!Lk_oracle.Access} view (weights rescaled to total 1) is deliberately
+    not accepted here: normalization destroys integrality. *)
+
+type t
+
+(** [build ?sink oracle] reveals items [0 .. n-1] in order, one counted
+    query each, inside an [Obs.phase sink "robp-build"] bracket.  Weights
+    must be integral non-negative floats (tolerance [1e-6] relative) no
+    larger than [2^40]; the capacity is floored to an integer in
+    [[0, 2^50]].  Raises [Invalid_argument] otherwise.  Profits are
+    ignored — the program counts feasibility, not value. *)
+val build : ?sink:Lk_obs.Obs.sink -> Lk_oracle.Query_oracle.t -> t
+
+(** [of_weights weights ~capacity] builds the program directly from integer
+    weights — the test/bench entry point that skips the oracle.  Same
+    bounds as {!build}. *)
+val of_weights : int array -> capacity:int -> t
+
+(** Number of layers (= items). *)
+val size : t -> int
+
+(** Integer capacity (the accepting threshold). *)
+val capacity : t -> int
+
+(** [weight t i] — item [i]'s integer weight (no oracle charge; the
+    program is frozen). *)
+val weight : t -> int -> int
+
+val total_weight : t -> int
+
+(** Upper bound on the number of distinct states in any layer:
+    [min (capacity + 1) 2^n], saturating. *)
+val width_bound : t -> int
+
+(** [2^n] as a float ([infinity] when it overflows) — the trivial upper
+    bound on the count, used to clamp certified brackets. *)
+val solutions_bound : t -> float

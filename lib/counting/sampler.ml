@@ -1,0 +1,111 @@
+module Obs = Lk_obs.Obs
+module Rng = Lk_util.Rng
+
+(* layers.(i) holds the suffix-CDF for items i..n-1 as parallel arrays:
+   sorted distinct weights xs and cumulative counts cs (cs.(k) = number of
+   suffix subsets with weight <= xs.(k)); layers.(n) is the empty suffix
+   [(0, 1)].  All breakpoints are <= capacity, which is the only range a
+   draw ever queries. *)
+type t = { robp : Robp.t; layers : (int array * float array) array }
+
+let max_total_states = 4_000_000
+
+let merge_layer ~cap ~wi (xs, cs) =
+  let m = Array.length xs in
+  if wi = 0 then (Array.copy xs, Array.map (fun c -> 2. *. c) cs)
+  else begin
+    (* Two-pointer merge of the suffix CDF with its take-shift, exactly
+       the GKM step without the sparsification. *)
+    let sb = ref m in
+    while !sb > 0 && xs.(!sb - 1) + wi > cap do
+      decr sb
+    done;
+    let xo = Array.make (m + !sb) 0 in
+    let co = Array.make (m + !sb) 0. in
+    let a = ref 0 and b = ref 0 and q = ref (-1) and out = ref 0 in
+    while !a < m || !b < !sb do
+      let va = if !a < m then xs.(!a) else max_int in
+      let vb = if !b < !sb then xs.(!b) + wi else max_int in
+      if va <= vb then begin
+        let lim = va - wi in
+        while !q + 1 < m && xs.(!q + 1) <= lim do
+          incr q
+        done;
+        let below = if !q >= 0 then cs.(!q) else 0. in
+        xo.(!out) <- va;
+        co.(!out) <- cs.(!a) +. below;
+        incr a;
+        if vb = va then incr b;
+        incr out
+      end
+      else begin
+        xo.(!out) <- vb;
+        co.(!out) <- cs.(!a - 1) +. cs.(!b);
+        incr b;
+        incr out
+      end
+    done;
+    (Array.sub xo 0 !out, Array.sub co 0 !out)
+  end
+
+let of_robp robp =
+  let n = Robp.size robp in
+  let cap = Robp.capacity robp in
+  let layers = Array.make (n + 1) ([| 0 |], [| 1. |]) in
+  let total = ref 1 in
+  for i = n - 1 downto 0 do
+    let layer = merge_layer ~cap ~wi:(Robp.weight robp i) layers.(i + 1) in
+    total := !total + Array.length (fst layer);
+    if !total > max_total_states then
+      invalid_arg "Sampler.of_robp: state explosion (shrink n or capacity)";
+    layers.(i) <- layer
+  done;
+  { robp; layers }
+
+let of_oracle ?(sink = Obs.null) oracle =
+  Obs.phase sink "sampler-build" (fun () -> of_robp (Robp.build ~sink oracle))
+
+let size t = Robp.size t.robp
+
+(* F(r) on one layer: cumulative count at the largest breakpoint <= r
+   (binary search), 0 when r is below the smallest. *)
+let cdf (xs, cs) r =
+  if r < xs.(0) then 0.
+  else begin
+    let lo = ref 0 and hi = ref (Array.length xs - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if xs.(mid) <= r then lo := mid else hi := mid - 1
+    done;
+    cs.(!lo)
+  end
+
+let count t = cdf t.layers.(0) (Robp.capacity t.robp)
+
+let draw t rng =
+  let n = size t in
+  let chosen = ref [] in
+  let taken = ref 0 in
+  let r = ref (Robp.capacity t.robp) in
+  for i = 0 to n - 1 do
+    let wi = Robp.weight t.robp i in
+    let total = cdf t.layers.(i) !r in
+    let take = if wi > !r then 0. else cdf t.layers.(i + 1) (!r - wi) in
+    if Rng.float rng *. total < take then begin
+      chosen := i :: !chosen;
+      incr taken;
+      r := !r - wi
+    end
+  done;
+  let out = Array.make !taken 0 in
+  let k = ref !taken in
+  List.iter
+    (fun i ->
+      decr k;
+      out.(!k) <- i)
+    !chosen;
+  out
+
+let draw_many t rng k =
+  if k < 0 then invalid_arg "Sampler.draw_many";
+  Array.init k (fun _ -> draw t rng)

@@ -1,0 +1,40 @@
+(** Exact uniform sampling of feasible subsets, by inverting the count.
+
+    Precomputes, for every suffix [i .. n-1], the exact CDF
+    [F_i(r) = #{subsets of items i..n-1 with weight <= r}].  A subset is
+    then drawn front-to-back: item [i] is taken with probability
+    [F_(i+1)(r - w_i) / F_i(r)] (remaining capacity [r]), which makes every
+    feasible subset exactly equally likely — the classic
+    counting-to-sampling reduction, here on the exact tables, so the
+    distribution is perfectly uniform rather than approximately so.
+
+    The tables are exponential in the worst case ([min (2^(n-i), r)]
+    states per layer); construction raises [Invalid_argument] beyond
+    {!max_total_states} summed states.  Randomness flows exclusively
+    through the caller's {!Lk_util.Rng} stream: same seed, same draws. *)
+
+type t
+
+(** Construction guard: summed breakpoint count across all suffix CDFs. *)
+val max_total_states : int
+
+(** [of_oracle ?sink oracle] — builds the ROBP (exactly [n] counted
+    queries) and the suffix tables, inside a ["sampler-build"] phase
+    bracket. *)
+val of_oracle : ?sink:Lk_obs.Obs.sink -> Lk_oracle.Query_oracle.t -> t
+
+(** [of_robp robp] — the same on a frozen program (test/bench entry). *)
+val of_robp : Robp.t -> t
+
+val size : t -> int
+
+(** Exact solution count [F_0(capacity)] — agrees bit-for-bit with
+    {!Exact.count_robp} on instances both can handle. *)
+val count : t -> float
+
+(** [draw t rng] — indices (ascending) of one uniformly-drawn feasible
+    subset. *)
+val draw : t -> Lk_util.Rng.t -> int array
+
+(** [draw_many t rng k] — [k] consecutive draws off the same stream. *)
+val draw_many : t -> Lk_util.Rng.t -> int -> int array array

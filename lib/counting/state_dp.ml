@@ -1,0 +1,81 @@
+(* Exact sparse forward DP: current layer = sorted weights w[0..m-1] with
+   path counts c[0..m-1].  The next layer is the sorted-merge of the "skip"
+   copy (weights unchanged) with the "take" shift (w + wi, kept while
+   <= capacity); equal weights add their counts.  Flat ping-pong buffers,
+   written front-to-back, in the Dp_scratch idiom. *)
+
+module A1 = Bigarray.Array1
+
+let max_states = 4_000_000
+
+let[@hot] count_in scratch robp =
+  let n = Robp.size robp in
+  let cap = Robp.capacity robp in
+  (* Slot parity p holds the current layer; 1-p receives the next one.
+     Growing slot 1-p never moves slot p's table (Count_scratch contract). *)
+  let p = ref 0 in
+  let m = ref 1 in
+  let wcur = ref (Count_scratch.int_slot_raw scratch 0 1) in
+  let ccur = ref (Count_scratch.float_slot_raw scratch 0 1) in
+  A1.unsafe_set !wcur 0 0;
+  A1.unsafe_set !ccur 0 1.;
+  for i = 0 to n - 1 do
+    let wi = Robp.weight robp i in
+    let mc = !m in
+    if wi = 0 then begin
+      (* Take/skip coincide in weight: counts just double in place. *)
+      let c = !ccur in
+      for j = 0 to mc - 1 do
+        A1.unsafe_set c j (2. *. A1.unsafe_get c j)
+      done
+    end
+    else begin
+      if 2 * mc > max_states then
+        invalid_arg "State_dp.count: state explosion (raise capacity/n limits)";
+      let q = 1 - !p in
+      let wnext = Count_scratch.int_slot_raw scratch q (2 * mc) in
+      let cnext = Count_scratch.float_slot_raw scratch q (2 * mc) in
+      let w = !wcur and c = !ccur in
+      (* Merge w[0..mc-1] (skip) with w[0..sb-1]+wi (take, <= cap). *)
+      let sb = ref mc in
+      while !sb > 0 && A1.unsafe_get w (!sb - 1) + wi > cap do
+        decr sb
+      done;
+      let a = ref 0 and b = ref 0 and out = ref 0 in
+      while !a < mc || !b < !sb do
+        let wa = if !a < mc then A1.unsafe_get w !a else max_int in
+        let wb = if !b < !sb then A1.unsafe_get w !b + wi else max_int in
+        if wa < wb then begin
+          A1.unsafe_set wnext !out wa;
+          A1.unsafe_set cnext !out (A1.unsafe_get c !a);
+          incr a;
+          incr out
+        end
+        else if wb < wa then begin
+          A1.unsafe_set wnext !out wb;
+          A1.unsafe_set cnext !out (A1.unsafe_get c !b);
+          incr b;
+          incr out
+        end
+        else begin
+          A1.unsafe_set wnext !out wa;
+          A1.unsafe_set cnext !out (A1.unsafe_get c !a +. A1.unsafe_get c !b);
+          incr a;
+          incr b;
+          incr out
+        end
+      done;
+      p := q;
+      m := !out;
+      wcur := wnext;
+      ccur := cnext
+    end
+  done;
+  let total = ref 0. in
+  let c = !ccur in
+  for j = 0 to !m - 1 do
+    total := !total +. A1.unsafe_get c j
+  done;
+  !total
+
+let count robp = count_in (Count_scratch.create ()) robp

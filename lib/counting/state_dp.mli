@@ -1,0 +1,22 @@
+(** Exact forward DP over the ROBP's reachable states.
+
+    Layer by layer, keeps the full sorted list of reachable prefix weights
+    [<= capacity] with the exact number of paths reaching each — no
+    rounding, no merging beyond identical weights.  The number of states
+    can grow to [min (capacity + 1) 2^i], so this is the exact reference
+    for moderate instances (bounded by {!max_states}) and the semantics
+    that {!Gkm} approximates.
+
+    Counts are accumulated in floats: exact as long as the true count stays
+    below [2^53], which every differential-test configuration does. *)
+
+(** Hard cap on the per-layer state count; [count] raises
+    [Invalid_argument] when a layer would exceed it. *)
+val max_states : int
+
+(** [count_in scratch robp] — number of feasible subsets (the empty set
+    included), reusing [scratch]'s buffers. *)
+val count_in : Count_scratch.t -> Robp.t -> float
+
+(** [count robp] with a private scratch. *)
+val count : Robp.t -> float

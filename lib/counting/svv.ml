@@ -1,0 +1,134 @@
+module A1 = Bigarray.Array1
+module Obs = Lk_obs.Obs
+
+type result = {
+  estimate : float;
+  lower : float;
+  upper : float;
+  grid : float;
+  levels : int;
+  queries : int;
+}
+
+let max_levels = 5_000_000
+
+(* Sentinel for "j + fs[t] is certainly below the grid": tau at negative
+   levels is 0 (fewer than one solution is always granted by the empty
+   set), so a hugely negative offset just reads as capacity 0. *)
+let fs_bottom = min_int / 2
+
+(* Rows: float slots 0/1 ping-pong tau(i-1, .) / tau(i, .); int slot 2
+   holds fs[t] = floor(log_Q (1 - Q^-t)), the grid offset of the
+   complementary split (1 - alpha) for alpha = Q^-t. *)
+let[@hot] count_in ~eps scratch robp =
+  if not (Float.is_finite eps) || eps <= 0. || eps > 1. then
+    invalid_arg "Svv.count: eps must be in (0, 1]";
+  let n = Robp.size robp in
+  let capf = float_of_int (Robp.capacity robp) in
+  let lnq = Float.log1p (eps /. (3. *. float_of_int (n + 1))) in
+  let s = int_of_float (Float.ceil (float_of_int n *. Float.log 2. /. lnq)) in
+  let s = max s 1 in
+  if s > max_levels then invalid_arg "Svv.count: grid too fine (eps too small)";
+  let fs = Count_scratch.int_slot_raw scratch 2 (s + 1) in
+  A1.unsafe_set fs 0 fs_bottom;
+  for t = 1 to s do
+    let e = Float.exp (-.float_of_int t *. lnq) in
+    if e >= 1. then A1.unsafe_set fs t fs_bottom
+    else begin
+      let v = Float.log1p (-.e) /. lnq in
+      let f = Float.floor v in
+      if f <= float_of_int fs_bottom then A1.unsafe_set fs t fs_bottom
+      else A1.unsafe_set fs t (int_of_float f)
+    end
+  done;
+  let prev = ref (Count_scratch.float_slot_raw scratch 0 (s + 1)) in
+  let next = ref (Count_scratch.float_slot_raw scratch 1 (s + 1)) in
+  A1.unsafe_set !prev 0 0.;
+  for j = 1 to s do
+    A1.unsafe_set !prev j infinity
+  done;
+  for i = 1 to n do
+    let wi = float_of_int (Robp.weight robp (i - 1)) in
+    let pr = !prev and nx = !next in
+    A1.unsafe_set nx 0 0.;
+    for j = 1 to s do
+      (* alpha = 1: the skip side alone supplies all Q^j solutions. *)
+      let best = ref (A1.unsafe_get pr j) in
+      (* Family A (alpha = Q^-t): skip side supplies Q^(j-t), take side
+         Q^j (1 - Q^-t), i.e. level j + fs[t].  The skip cost
+         pr[j - t] falls in t while the take cost rises (fs is
+         monotone), so the min of their max sits at the crossing. *)
+      let lo = ref 1 and hi = ref j in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        let dec = A1.unsafe_get pr (j - mid) in
+        let idx = j + A1.unsafe_get fs mid in
+        let inc = wi +. (if idx < 0 then 0. else A1.unsafe_get pr idx) in
+        if inc >= dec then hi := mid else lo := mid + 1
+      done;
+      let t = !lo in
+      let dec = A1.unsafe_get pr (j - t) in
+      let idx = j + A1.unsafe_get fs t in
+      let inc = wi +. (if idx < 0 then 0. else A1.unsafe_get pr idx) in
+      let cand = Float.max dec inc in
+      if cand < !best then best := cand;
+      if t > 1 then begin
+        let dec = A1.unsafe_get pr (j - t + 1) in
+        let idx = j + A1.unsafe_get fs (t - 1) in
+        let inc = wi +. (if idx < 0 then 0. else A1.unsafe_get pr idx) in
+        let cand = Float.max dec inc in
+        if cand < !best then best := cand
+      end;
+      (* Family B (alpha = 1 - Q^-t): mirror image — take side supplies
+         Q^(j-t), skip side level j + fs[t]. *)
+      let lo = ref 1 and hi = ref j in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        let dec = wi +. A1.unsafe_get pr (j - mid) in
+        let idx = j + A1.unsafe_get fs mid in
+        let inc = if idx < 0 then 0. else A1.unsafe_get pr idx in
+        if inc >= dec then hi := mid else lo := mid + 1
+      done;
+      let t = !lo in
+      let dec = wi +. A1.unsafe_get pr (j - t) in
+      let idx = j + A1.unsafe_get fs t in
+      let inc = if idx < 0 then 0. else A1.unsafe_get pr idx in
+      let cand = Float.max dec inc in
+      if cand < !best then best := cand;
+      if t > 1 then begin
+        let dec = wi +. A1.unsafe_get pr (j - t + 1) in
+        let idx = j + A1.unsafe_get fs (t - 1) in
+        let inc = if idx < 0 then 0. else A1.unsafe_get pr idx in
+        let cand = Float.max dec inc in
+        if cand < !best then best := cand
+      end;
+      (* tau is non-decreasing in j by definition; enforce it so the
+         binary searches above stay valid and the readout is monotone. *)
+      let floor_j = A1.unsafe_get nx (j - 1) in
+      if !best < floor_j then best := floor_j;
+      A1.unsafe_set nx j !best
+    done;
+    let tmp = !prev in
+    prev := !next;
+    next := tmp
+  done;
+  let row = !prev in
+  let jstar = ref 0 in
+  let j = ref s in
+  while !j > 0 && !jstar = 0 do
+    if A1.unsafe_get row !j <= capf then jstar := !j;
+    decr j
+  done;
+  let js = float_of_int !jstar in
+  let span = float_of_int (n + 1) in
+  let bound = Robp.solutions_bound robp in
+  let lower = Float.max 1. (Float.exp ((js -. span) *. lnq)) in
+  let upper = Float.min bound (Float.exp ((js +. span) *. lnq)) in
+  let estimate = Float.min (Float.max (Float.exp (js *. lnq)) lower) upper in
+  { estimate; lower; upper; grid = Float.exp lnq; levels = s; queries = n }
+
+let count ?(sink = Obs.null) ~eps oracle =
+  Obs.phase sink "svv-count" (fun () ->
+      let robp = Robp.build ~sink oracle in
+      let scratch = Count_scratch.create () in
+      count_in ~eps scratch robp)

@@ -1,0 +1,37 @@
+(** SVV-style deterministic approximate counting
+    (Stefankovic–Vempala–Vigoda, arXiv:1008.1687): DP over discretized
+    remaining-capacity states.
+
+    Instead of tracking counts per weight (exponentially many), the DP
+    inverts the roles: [tau(i, j)] = the smallest capacity under which the
+    first [i] items admit at least [Q^j] feasible subsets, for [j] on a
+    geometric grid [Q = 1 + eps / (3 (n + 1))] with
+    [s = ceil (n ln 2 / ln Q)] levels.  The recurrence splits the [Q^j]
+    solutions between the "skip" and "take" sides of item [i] in a
+    geometric ratio [alpha]; restricting [alpha] to the grid keeps each
+    cell an [O(log s)] minimization over two monotone candidate families
+    (binary search over the crossing), and costs at most one grid level
+    per layer.  The answer is read off as the largest [j] with
+    [tau(n, j) <= capacity]; the certified bracket is [Q^(j* -+ (n+1))],
+    a ratio of [e^(+-eps/3)] — inside [(1 +- eps)].
+
+    Two flat rows ping-pong ([O(s)] space, not [O(n s)]); wholly
+    deterministic — no randomness anywhere in the computation. *)
+
+type result = {
+  estimate : float;  (** [Q^j*] *)
+  lower : float;  (** certified [lower <= Z] (clamped to [>= 1]) *)
+  upper : float;  (** certified [Z <= upper] (clamped to [<= 2^n]) *)
+  grid : float;  (** the grid ratio [Q] *)
+  levels : int;  (** [s], the number of grid levels *)
+  queries : int;  (** index queries spent building the program ([= n]) *)
+}
+
+(** [count ?sink ~eps oracle] — builds the ROBP (exactly [n] counted
+    queries) and counts, inside an ["svv-count"] phase bracket.  Raises
+    [Invalid_argument] unless [eps] is in [(0, 1]], or when the grid would
+    exceed 5,000,000 levels (eps too small for the instance size). *)
+val count : ?sink:Lk_obs.Obs.sink -> eps:float -> Lk_oracle.Query_oracle.t -> result
+
+(** [count_in ~eps scratch robp] — the kernel on a frozen program. *)
+val count_in : eps:float -> Count_scratch.t -> Robp.t -> result

@@ -11,6 +11,7 @@ module Par = Lk_analysis.Rule_parallel
 module Timing = Lk_analysis.Rule_timing
 module ObsRule = Lk_analysis.Rule_obs
 module ServeRule = Lk_analysis.Rule_serve
+module CountRule = Lk_analysis.Rule_counting
 module Engine = Lk_analysis.Engine
 module Mod = Lk_analysis.Modgraph
 module Cg = Lk_analysis.Callgraph
@@ -147,6 +148,24 @@ let test_layering_fixtures () =
   check_rules "inverted edge" [ "layering" ]
     (Layer.check_dune ~path:"lib/util/dune"
        ~content:"(library (name lk_util) (libraries lk_stats))")
+
+let test_layering_counting_edges () =
+  (* lk_counting sits at the oracle layer: it may see lk_oracle and below,
+     nothing above, and nobody below may see it back. *)
+  check_rules "counting's legal deps" []
+    (Layer.check_dune ~path:"lib/counting/dune"
+       ~content:
+         "(library (name lk_counting) (libraries lk_util lk_knapsack \
+          lk_benchkit lk_obs lk_oracle))");
+  check_rules "counting must not fan out" [ "layering" ]
+    (Layer.check_dune ~path:"lib/counting/dune"
+       ~content:"(library (name lk_counting) (libraries lk_util lk_parallel))");
+  check_rules "counting must not see workloads" [ "layering" ]
+    (Layer.check_dune ~path:"lib/counting/dune"
+       ~content:"(library (name lk_counting) (libraries lk_util lk_workloads))");
+  check_rules "lower layers must not see counting back" [ "layering" ]
+    (Layer.check_dune ~path:"lib/oracle/dune"
+       ~content:"(library (name lk_oracle) (libraries lk_util lk_counting))")
 
 let repo_lib_dune_files () =
   (* Tests run in _build/default/test; the lib tree is a declared dep one
@@ -296,6 +315,42 @@ let test_serve_discipline_negative () =
     (Allow.errors
        (Allow.parse ~known:(List.map fst Engine.rules)
           "serving-discipline lib/a/x.ml # vetted\n"))
+
+(* ------------------------------------------------------------------ *)
+(* counting-discipline *)
+
+let test_counting_discipline_positive () =
+  let bad =
+    T.tokenize
+      "let r = Lk_counting.Robp.of_weights w ~capacity:9\n\
+       let z = Lk_counting.State_dp.count r\n\
+       let s = Lk_counting.Count_scratch.create ()\n"
+  in
+  check_rules "raw Robp/State_dp/Count_scratch access flagged in lib"
+    [ "counting-discipline"; "counting-discipline"; "counting-discipline" ]
+    (CountRule.check ~file:"lib/lca/x.ml" bad);
+  check_rules "and in bin" [ "counting-discipline" ]
+    (CountRule.check ~file:"bin/experiments.ml"
+       (T.tokenize "let w = Lk_counting.Robp.weight robp 3\n"))
+
+let test_counting_discipline_negative () =
+  let bad = T.tokenize "let r = Lk_counting.Robp.build oracle\n" in
+  check_rules "lib/counting itself is exempt" []
+    (CountRule.check ~file:"lib/counting/gkm.ml" bad);
+  let benign =
+    T.tokenize
+      "let z = Lk_counting.Exact.count oracle\n\
+       let g = Lk_counting.Gkm.count ~eps oracle\n\
+       let s = Lk_counting.Svv.count ~eps oracle\n\
+       let m = Lk_counting.Sampler.of_oracle oracle\n\
+       let x = robp_like\n"
+  in
+  check_rules "facades and substrings all fine" []
+    (CountRule.check ~file:"bin/experiments.ml" benign);
+  check_rules "the allowlist knows the rule id" []
+    (Allow.errors
+       (Allow.parse ~known:(List.map fst Engine.rules)
+          "counting-discipline lib/a/x.ml # vetted\n"))
 
 (* ------------------------------------------------------------------ *)
 (* timing-discipline *)
@@ -676,7 +731,46 @@ let test_hot_manifest_covers_flat_kernels () =
       "lib/core/tilde.ml";
       "lib/core/eps.ml";
       "lib/core/mapping_greedy.ml";
+      "lib/counting/count_scratch.ml";
+      "lib/counting/state_dp.ml";
+      "lib/counting/gkm.ml";
+      "lib/counting/svv.ml";
     ]
+
+let test_counting_seeded_violations () =
+  (* Seed both halves of the counting confinement into one fixture tree:
+     a bin file naming the frozen program directly (counting-discipline)
+     and a lib/counting dune stanza reaching above its layer (the
+     lk_counting layering edge), and prove both fire through the full
+     Engine.analyze pipeline. *)
+  with_fixture
+    (pure_lib
+    @ [ ( "bin/freeride.ml",
+          "let z w = Lk_counting.Robp.of_weights w ~capacity:9\n" );
+        ( "lib/counting/dune",
+          "(library (name lk_counting) (libraries lk_util lk_workloads))" ) ])
+    (fun root ->
+      let report = Engine.analyze ~root () in
+      let confinement = findings_with_rule "counting-discipline" report in
+      Alcotest.(check int) "confinement breach fires" 1 (List.length confinement);
+      Alcotest.(check string) "in the bin file" "bin/freeride.ml"
+        (List.hd confinement).F.file;
+      Alcotest.(check bool) "names the facades" true
+        (contains (List.hd confinement).F.message "Query_oracle");
+      let layering = findings_with_rule "layering" report in
+      Alcotest.(check int) "layering edge fires" 1 (List.length layering);
+      Alcotest.(check bool) "names the illegal edge" true
+        (contains (List.hd layering).F.message "lk_counting -> lk_workloads");
+      Alcotest.(check int) "nothing else fires" 2 (total_findings report);
+      (* fixing both silences the tree *)
+      write_file
+        (Filename.concat root "bin/freeride.ml")
+        "let z oracle = Lk_counting.Exact.count oracle\n";
+      write_file
+        (Filename.concat root "lib/counting/dune")
+        "(library (name lk_counting) (libraries lk_util lk_oracle))";
+      let report = Engine.analyze ~root () in
+      Alcotest.(check int) "clean after the fix" 0 (total_findings report))
 
 let test_effect_hot_alloc_seeded_kernel () =
   (* Seed a banned closure idiom into a lib/ file named by the manifest —
@@ -962,6 +1056,7 @@ let () =
       ( "layering",
         [
           Alcotest.test_case "fixtures" `Quick test_layering_fixtures;
+          Alcotest.test_case "counting edges" `Quick test_layering_counting_edges;
           Alcotest.test_case "real lib/*/dune" `Quick test_layering_real_tree;
         ] );
       ( "oracle-discipline",
@@ -987,6 +1082,13 @@ let () =
         [
           Alcotest.test_case "positive" `Quick test_serve_discipline_positive;
           Alcotest.test_case "negative" `Quick test_serve_discipline_negative;
+        ] );
+      ( "counting-discipline",
+        [
+          Alcotest.test_case "positive" `Quick test_counting_discipline_positive;
+          Alcotest.test_case "negative" `Quick test_counting_discipline_negative;
+          Alcotest.test_case "seeded violations" `Quick
+            test_counting_seeded_violations;
         ] );
       ( "allowlist",
         [
